@@ -1,0 +1,97 @@
+"""E11 — micro-benchmark of the evaluation procedure itself (Section 3.2).
+
+Measures the cost of the recursive eval definitions on synthetic
+expression trees as their shape grows: Seq chains (depth), wide
+QueryApply argument lists (fanout), and EvalAt towers (delegation depth).
+
+Expected shape: evaluation cost grows linearly in expression size for all
+three shapes — the procedure applies one definition per node.
+"""
+
+import time
+
+import pytest
+
+from repro.core import (
+    EvalAt,
+    ExpressionEvaluator,
+    Plan,
+    QueryApply,
+    QueryRef,
+    Seq,
+    TreeExpr,
+    measure,
+)
+from repro.peers import AXMLSystem
+from repro.xmlcore import parse
+from repro.xquery import Query
+
+from common import emit, format_table
+
+
+def build_system():
+    return AXMLSystem.with_peers(["p0", "p1"], bandwidth=1e9, latency=1e-6)
+
+
+def seq_chain(depth):
+    leaf = TreeExpr(parse("<x>1</x>"), "p0")
+    return Seq(tuple(leaf for _ in range(depth)))
+
+
+def wide_apply(fanout):
+    query = Query(
+        "declare variable $a external; count($a)", params=("a",), name="w"
+    )
+    args = tuple(TreeExpr(parse("<x/>"), "p0") for _ in range(1))
+    inner = QueryApply(QueryRef(query, "p0"), args)
+    return Seq(tuple(inner for _ in range(fanout)))
+
+
+def evalat_tower(depth):
+    expr = TreeExpr(parse("<x/>"), "p0")
+    for level in range(depth):
+        expr = EvalAt("p1" if level % 2 == 0 else "p0", expr)
+    return expr
+
+
+def wall_time(system, expr):
+    twin = system.clone()
+    evaluator = ExpressionEvaluator(twin)
+    started = time.perf_counter()
+    evaluator.eval(expr, "p0")
+    return (time.perf_counter() - started) * 1000
+
+
+def run_sweep():
+    system = build_system()
+    rows = []
+    for size in (4, 16, 64):
+        rows.append(
+            (
+                size,
+                wall_time(system, seq_chain(size)),
+                wall_time(system, wide_apply(size)),
+                wall_time(system, evalat_tower(min(size, 60))),
+            )
+        )
+    return rows
+
+
+def test_e11_eval_micro(benchmark):
+    rows = run_sweep()
+    emit(
+        "E11",
+        "evaluator micro-costs (wall-clock ms) by expression size/shape",
+        format_table(
+            ["size", "seq chain ms", "apply fanout ms", "evalat tower ms"], rows
+        ),
+    )
+
+    # linear-ish scaling: 16x size must not cost more than ~64x time
+    assert rows[-1][1] < max(rows[0][1], 0.05) * 64
+    assert rows[-1][2] < max(rows[0][2], 0.05) * 64
+
+    system = build_system()
+    benchmark.pedantic(
+        lambda: wall_time(system, seq_chain(32)), rounds=5, iterations=1
+    )

@@ -1,0 +1,103 @@
+"""E12 — the optimizer: greedy vs bounded best-first search.
+
+Workload: the composite plan from Example 1 on a slow network where
+optimization genuinely matters.  Compares the two search strategies on
+plan quality (measured cost of the chosen plan), plans explored, and
+search wall time, across search depths.
+
+Expected shape: both strategies beat the naive plan; best-first explores
+more and never loses to greedy on plan quality; extra depth has
+diminishing returns once the main rewrites (delegate/push) are applied.
+"""
+
+import time
+
+import pytest
+
+from repro.core import (
+    DocExpr,
+    Optimizer,
+    Plan,
+    QueryApply,
+    QueryRef,
+    measure,
+)
+from repro.xquery import Query
+
+from common import emit, format_table, make_catalog
+from repro.peers import AXMLSystem
+
+
+def build():
+    system = AXMLSystem.with_peers(
+        ["client", "data", "helper"], bandwidth=60_000.0, latency=0.02
+    )
+    system.peer("data").install_document("cat", make_catalog(400))
+    query = Query(
+        "for $i in $d//item where $i/price > 390 "
+        "return <r>{$i/name/text()}</r>",
+        params=("d",),
+        name="sel",
+    )
+    plan = Plan(
+        QueryApply(QueryRef(query, "client"), (DocExpr("cat", "data"),)),
+        "client",
+    )
+    return system, plan
+
+
+def run_sweep():
+    system, plan = build()
+    rows = []
+    naive_cost = measure(plan, system)
+    rows.append(("naive", "-", naive_cost.scalar() * 1000, 1, 0.0))
+
+    started = time.perf_counter()
+    greedy = Optimizer(system).optimize_greedy(plan)
+    greedy_ms = (time.perf_counter() - started) * 1000
+    rows.append(
+        ("greedy", "-", greedy.best_cost.scalar() * 1000, greedy.explored, greedy_ms)
+    )
+
+    for depth in (1, 2, 3):
+        started = time.perf_counter()
+        result = Optimizer(system).optimize(plan, depth=depth, beam=8)
+        elapsed = (time.perf_counter() - started) * 1000
+        rows.append(
+            (
+                "best-first",
+                depth,
+                result.best_cost.scalar() * 1000,
+                result.explored,
+                elapsed,
+            )
+        )
+    return rows
+
+
+def test_e12_optimizer(benchmark):
+    rows = run_sweep()
+    emit(
+        "E12",
+        "optimizer search strategies (scalar cost in ms-equivalents)",
+        format_table(
+            ["strategy", "depth", "plan cost", "plans explored", "search ms"],
+            rows,
+        ),
+    )
+
+    naive_cost = rows[0][2]
+    greedy_cost = rows[1][2]
+    depth_costs = [row[2] for row in rows[2:]]
+    assert greedy_cost < naive_cost           # optimization helps at all
+    assert min(depth_costs) <= greedy_cost * 1.001  # search >= greedy quality
+    assert depth_costs == sorted(depth_costs, reverse=True) or (
+        max(depth_costs) - min(depth_costs) < naive_cost * 0.5
+    )  # deeper search never worse (allowing plateaus)
+
+    system, plan = build()
+    benchmark.pedantic(
+        lambda: Optimizer(system).optimize(plan, depth=2, beam=6),
+        rounds=3,
+        iterations=1,
+    )

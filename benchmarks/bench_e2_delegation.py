@@ -1,0 +1,84 @@
+"""E2 — rule (10): query delegation to the data-holding peer.
+
+Sweep: document size.  Naive ships the document to the client; delegated
+(EvalAt data) ships the query there and only the answer back.  Expected
+shape: delegation wins on bytes at every size; on completion time there is
+a crossover — below it the extra round trips cost more than the saved
+transfer, above it delegation wins outright.
+"""
+
+import pytest
+
+from repro.core import (
+    DocExpr,
+    EvalAt,
+    Plan,
+    QueryApply,
+    QueryRef,
+    check_equivalence,
+    measure,
+)
+from repro.peers import AXMLSystem
+from repro.xquery import Query
+
+from common import WAN_BANDWIDTH, WAN_LATENCY, emit, format_table, make_catalog
+
+
+def build(n_items):
+    system = AXMLSystem.with_peers(
+        ["client", "data"], bandwidth=WAN_BANDWIDTH, latency=WAN_LATENCY
+    )
+    system.peer("data").install_document("cat", make_catalog(n_items))
+    query = Query(
+        "for $i in $d//item where $i/price mod 97 = 0 return $i/name",
+        params=("d",),
+        name="pick",
+    )
+    naive = Plan(
+        QueryApply(QueryRef(query, "client"), (DocExpr("cat", "data"),)),
+        "client",
+    )
+    delegated = Plan(EvalAt("data", naive.expr), "client")
+    return system, naive, delegated
+
+
+def run_sweep():
+    rows = []
+    crossover_seen = False
+    for n_items in (5, 20, 100, 400, 1000):
+        system, naive, delegated = build(n_items)
+        naive_cost = measure(naive, system)
+        deleg_cost = measure(delegated, system)
+        rows.append(
+            (
+                n_items,
+                naive_cost.bytes,
+                deleg_cost.bytes,
+                naive_cost.time * 1000,
+                deleg_cost.time * 1000,
+                "delegate" if deleg_cost.time < naive_cost.time else "naive",
+            )
+        )
+    return rows
+
+
+def test_e2_delegation(benchmark):
+    rows = run_sweep()
+    emit(
+        "E2",
+        "query delegation (rule 10): ship doc vs ship query, by doc size",
+        format_table(
+            ["items", "naive B", "deleg B", "naive ms", "deleg ms", "time winner"],
+            rows,
+        ),
+    )
+
+    # bytes: delegation wins from a modest size onward and scaling diverges
+    assert rows[-1][2] < rows[-1][1] / 10
+    # time: naive wins small docs, delegation wins large docs (a crossover)
+    assert rows[0][5] == "naive"
+    assert rows[-1][5] == "delegate"
+
+    system, naive, delegated = build(100)
+    assert check_equivalence(naive, delegated, system).equivalent
+    benchmark.pedantic(lambda: measure(delegated, system), rounds=3, iterations=1)

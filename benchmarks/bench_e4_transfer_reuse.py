@@ -1,0 +1,95 @@
+"""E4 — rule (13): transfer reuse by materializing a twice-used tree.
+
+Workload: a query at the client reads the same remote document through
+two parameters (the paper's e2(t@p1), e3(t@p1) shape).  Naive ships the
+document twice; the rewrite materializes it once as a local temp document
+and reads that.
+
+Sweep: document size.  Expected shape: the rewrite halves shipped bytes
+at every size ("e3 no longer needs to transfer t"); completion time
+favours the rewrite increasingly with size — the sequential
+materialization the paper warns about ("breaks the parallelism ... may be
+worth it if t is large") costs a constant latency, the duplicate transfer
+costs linearly.
+"""
+
+import pytest
+
+from repro.core import (
+    DocExpr,
+    Plan,
+    QueryApply,
+    QueryRef,
+    TransferReuse,
+    check_equivalence,
+    measure,
+)
+from repro.peers import AXMLSystem
+from repro.xquery import Query
+
+from common import WAN_BANDWIDTH, WAN_LATENCY, emit, format_table, make_catalog
+
+
+def build(n_items):
+    system = AXMLSystem.with_peers(
+        ["client", "data"], bandwidth=WAN_BANDWIDTH, latency=WAN_LATENCY
+    )
+    system.peer("data").install_document("cat", make_catalog(n_items))
+    query = Query(
+        "declare variable $a external; declare variable $b external; "
+        "<check both='{count($a//item) = count($b//item)}' "
+        "n='{count($a//item)}'/>",
+        params=("a", "b"),
+        name="cross-check",
+    )
+    naive = Plan(
+        QueryApply(
+            QueryRef(query, "client"),
+            (DocExpr("cat", "data"), DocExpr("cat", "data")),
+        ),
+        "client",
+    )
+    (rewrite,) = TransferReuse().apply(naive, system)
+    return system, naive, rewrite.plan
+
+
+def run_sweep():
+    rows = []
+    for n_items in (10, 50, 200, 800):
+        system, naive, reused = build(n_items)
+        naive_cost = measure(naive, system)
+        reuse_cost = measure(reused, system)
+        rows.append(
+            (
+                n_items,
+                naive_cost.bytes,
+                reuse_cost.bytes,
+                round(naive_cost.bytes / max(1, reuse_cost.bytes), 2),
+                naive_cost.time * 1000,
+                reuse_cost.time * 1000,
+            )
+        )
+    return rows
+
+
+def test_e4_transfer_reuse(benchmark):
+    rows = run_sweep()
+    emit(
+        "E4",
+        "transfer reuse (rule 13): ship twice vs materialize once",
+        format_table(
+            ["items", "naive B", "reuse B", "ratio", "naive ms", "reuse ms"],
+            rows,
+        ),
+    )
+
+    # bytes roughly halve (ratio → 2 as the doc dominates the envelope)
+    assert rows[-1][3] > 1.7
+    # and the ratio grows with size (fixed costs amortize)
+    assert rows[-1][3] >= rows[0][3]
+    # the paper's caveat, measured: worth it when t is large
+    assert rows[-1][5] < rows[-1][4]
+
+    system, naive, reused = build(200)
+    assert check_equivalence(naive, reused, system).equivalent
+    benchmark.pedantic(lambda: measure(reused, system), rounds=3, iterations=1)

@@ -1,0 +1,98 @@
+"""E5 — rule (16): pushing queries over service calls.
+
+Workload: the client applies a selective query q to the result of a
+service call sc(data, all-items).  Naive: the service's full output
+ships to the client, q runs there.  Rule (16): q ships to the provider
+and composes with the implementing query q1; only q's (small) output
+travels.
+
+Sweep: the reduction factor of q (fraction of the service output it
+keeps).  Expected shape: the win is proportional to the reduction — two
+orders of magnitude at 0.1%, shrinking monotonically.  The floor is ~3x
+rather than 1x: in the naive plan the call's *parameter* (the catalog)
+makes a round trip — evaluated at the caller per definition (6), then
+shipped to the provider — which rule (16) also eliminates.
+"""
+
+import pytest
+
+from repro.core import (
+    DocExpr,
+    Plan,
+    PushQueryOverCall,
+    QueryApply,
+    QueryRef,
+    ServiceCallExpr,
+    check_equivalence,
+    measure,
+)
+from repro.xquery import Query
+
+from common import client_data_system, emit, format_table
+
+N_ITEMS = 400
+
+
+def build(keep_fraction: float):
+    system = client_data_system(N_ITEMS)
+    system.peer("data").install_query_service(
+        "all-items",
+        "declare variable $d external; <all>{$d//item}</all>",
+        params=("d",),
+    )
+    threshold = int(N_ITEMS * (1.0 - keep_fraction))
+    consumer = Query(
+        f"for $i in $r//item where $i/price >= {threshold} return $i",
+        params=("r",),
+        name="consumer",
+    )
+    naive = Plan(
+        QueryApply(
+            QueryRef(consumer, "client"),
+            (ServiceCallExpr("data", "all-items", (DocExpr("cat", "data"),)),),
+        ),
+        "client",
+    )
+    (rewrite,) = PushQueryOverCall().apply(naive, system)
+    return system, naive, rewrite.plan
+
+
+def run_sweep():
+    rows = []
+    for keep in (0.001, 0.01, 0.1, 0.5, 1.0):
+        system, naive, pushed = build(keep)
+        naive_cost = measure(naive, system)
+        push_cost = measure(pushed, system)
+        rows.append(
+            (
+                f"{keep:.1%}",
+                naive_cost.bytes,
+                push_cost.bytes,
+                round(naive_cost.bytes / max(1, push_cost.bytes), 2),
+                naive_cost.time * 1000,
+                push_cost.time * 1000,
+            )
+        )
+    return rows
+
+
+def test_e5_push_over_call(benchmark):
+    rows = run_sweep()
+    emit(
+        "E5",
+        "pushing queries over service calls (rule 16), by reduction factor",
+        format_table(
+            ["q keeps", "naive B", "pushed B", "ratio", "naive ms", "pushed ms"],
+            rows,
+        ),
+    )
+
+    ratios = [row[3] for row in rows]
+    assert ratios[0] > 10          # strong win when q is selective
+    assert ratios == sorted(ratios, reverse=True)  # monotone in reduction
+    # the floor: the parameter round trip still saved even at 100% keep
+    assert 2 < ratios[-1] < 4
+
+    system, naive, pushed = build(0.1)
+    assert check_equivalence(naive, pushed, system).equivalent
+    benchmark.pedantic(lambda: measure(pushed, system), rounds=3, iterations=1)

@@ -1,0 +1,114 @@
+"""E7 — forward lists and call relocation (rule (15) + Section 2.3).
+
+The pre-extension AXML pattern: service results return to the *caller*,
+who then redistributes them to consumers.  The paper's ``forw`` extension
+sends results straight from the provider to the targets ("there is no
+need to ship results back").
+
+Workload: the client invokes a service at the provider whose results are
+needed at k consumer peers.  Sweep k.  Expected shape: the caller-relay
+pattern ships the result k+1 times (once back, k times out), the forward
+list k times — the saving is one result transfer plus the caller round
+trip, constant in k on bytes ratio → (k+1)/k, and the forwarded variant
+is strictly faster at every k.
+"""
+
+import pytest
+
+from repro.core import (
+    ExpressionEvaluator,
+    NodesDest,
+    Send,
+    Seq,
+    ServiceCallExpr,
+    TreeExpr,
+    measure,
+    Plan,
+)
+from repro.peers import AXMLSystem
+from repro.xmlcore import element, parse
+
+from common import WAN_BANDWIDTH, WAN_LATENCY, emit, format_table
+
+RESULT_ITEMS = 120
+
+
+def build(n_consumers):
+    peers = ["client", "provider"] + [f"consumer-{i}" for i in range(n_consumers)]
+    system = AXMLSystem.with_peers(
+        peers, bandwidth=WAN_BANDWIDTH, latency=WAN_LATENCY
+    )
+    system.peer("provider").install_query_service(
+        "report",
+        "<report>"
+        + "".join(f"<row id='{i}'>{'v' * 20}</row>" for i in range(RESULT_ITEMS))
+        + "</report>",
+    )
+    inboxes = []
+    for i in range(n_consumers):
+        inbox = element("inbox")
+        system.peer(f"consumer-{i}").install_document("acc", inbox)
+        inboxes.append(inbox.node_id)
+    return system, inboxes
+
+
+def caller_relay_plan(system, inboxes):
+    """Old AXML: results come back to the caller, who fans them out."""
+    sc = ServiceCallExpr("provider", "report", ())
+
+    # the caller re-sends the received report: modelled as sc (results at
+    # client) then a send of an equal-sized tree from the client
+    report = system.peer("provider").service("report").invoke([], system.peer("provider"))[0]
+    fan_out = Send(NodesDest(tuple(inboxes)), TreeExpr(report, "client"))
+    return Plan(Seq((sc, fan_out)), "client")
+
+
+def forward_list_plan(inboxes):
+    return Plan(ServiceCallExpr("provider", "report", (), tuple(inboxes)), "client")
+
+
+def run_sweep():
+    rows = []
+    for n_consumers in (1, 2, 4, 8):
+        system, inboxes = build(n_consumers)
+        relay_cost = measure(caller_relay_plan(system, inboxes), system)
+        forward_cost = measure(forward_list_plan(inboxes), system)
+        rows.append(
+            (
+                n_consumers,
+                relay_cost.bytes,
+                forward_cost.bytes,
+                relay_cost.messages,
+                forward_cost.messages,
+                relay_cost.time * 1000,
+                forward_cost.time * 1000,
+            )
+        )
+    return rows
+
+
+def test_e7_forward_lists(benchmark):
+    rows = run_sweep()
+    emit(
+        "E7",
+        "forward lists vs caller redistribution (rule 15 context), by consumers",
+        format_table(
+            ["consumers", "relay B", "forw B", "relay msgs", "forw msgs",
+             "relay ms", "forw ms"],
+            rows,
+        ),
+    )
+
+    for row in rows:
+        consumers, relay_b, forw_b, relay_m, forw_m, relay_t, forw_t = row
+        assert forw_b < relay_b            # one fewer result transfer
+        assert forw_m == relay_m - 1       # exactly the return message
+        assert forw_t < relay_t            # and strictly faster
+    # the relative saving shrinks as k grows: (k+1)/k -> 1
+    first_ratio = rows[0][1] / rows[0][2]
+    last_ratio = rows[-1][1] / rows[-1][2]
+    assert first_ratio > last_ratio
+
+    system, inboxes = build(4)
+    plan = forward_list_plan(inboxes)
+    benchmark.pedantic(lambda: measure(plan, system), rounds=3, iterations=1)

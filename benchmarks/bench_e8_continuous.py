@@ -1,0 +1,83 @@
+"""E8 — continuous services: incremental vs re-evaluating queries.
+
+The paper's continuous semantics (Section 2.2, discussion after
+definition (2)): a query over a stream re-emits output as new trees
+arrive.  Two executions produce those outputs: incremental (evaluate only
+the delta) and re-evaluation (re-run over the whole accumulated input).
+
+Sweep: stream length.  Expected shape: identical answers; work (trees
+processed) linear for incremental, quadratic for re-evaluation; wall time
+follows the same curves.
+"""
+
+import time
+
+import pytest
+
+from repro.axml import IncrementalQuery
+from repro.xmlcore import parse, serialize
+from repro.xquery import Query
+
+from common import emit, format_table
+
+
+def alert_query():
+    return Query(
+        "for $r in $in where number($r/v) mod 7 = 0 return <hit>{$r/v/text()}</hit>",
+        params=("in",),
+        name="mod7",
+    )
+
+
+def run_stream(mode, length):
+    query = IncrementalQuery(alert_query(), mode=mode)
+    started = time.perf_counter()
+    for value in range(length):
+        query.push(parse(f"<e><v>{value}</v></e>"))
+    elapsed = time.perf_counter() - started
+    return query, elapsed
+
+
+def run_sweep():
+    rows = []
+    for length in (25, 50, 100, 200):
+        inc, inc_time = run_stream("incremental", length)
+        ree, ree_time = run_stream("reevaluate", length)
+        assert [serialize(o) for o in inc.outputs] == [
+            serialize(o) for o in ree.outputs
+        ]
+        rows.append(
+            (
+                length,
+                inc.trees_processed,
+                ree.trees_processed,
+                inc_time * 1000,
+                ree_time * 1000,
+            )
+        )
+    return rows
+
+
+def test_e8_continuous(benchmark):
+    rows = run_sweep()
+    emit(
+        "E8",
+        "continuous query execution: incremental vs re-evaluation, by stream length",
+        format_table(
+            ["stream len", "inc trees", "ree trees", "inc ms", "ree ms"], rows
+        ),
+    )
+
+    # incremental is linear: trees processed == stream length
+    for row in rows:
+        assert row[1] == row[0]
+        assert row[2] == row[0] * (row[0] + 1) // 2  # quadratic
+    # doubling the stream ~doubles incremental work but ~4x's re-evaluation
+    inc_growth = rows[-1][1] / rows[-2][1]
+    ree_growth = rows[-1][2] / rows[-2][2]
+    assert inc_growth == pytest.approx(2.0)
+    assert ree_growth > 3.0
+
+    benchmark.pedantic(
+        lambda: run_stream("incremental", 100), rounds=3, iterations=1
+    )

@@ -1,0 +1,88 @@
+"""E9 — rule (14): whole-expression delegation to a faster coordinator.
+
+Workload: a compute-heavy aggregation at a *slow* client over data the
+client already holds; a fast helper peer sits one hop away.  The rewrite
+ships the expression to the helper (which fetches the data and computes)
+and gets the small answer back.
+
+Sweep: the helper/client CPU-speed ratio.  Expected shape: below the
+crossover (helper barely faster) staying local wins — delegation pays two
+transfers of the document; above it the fast helper amortizes the
+shipping, and the advantage grows with the ratio.
+"""
+
+import pytest
+
+from repro.core import (
+    DocExpr,
+    EvalAt,
+    Plan,
+    QueryApply,
+    QueryRef,
+    check_equivalence,
+    measure,
+)
+from repro.peers import AXMLSystem
+from repro.xquery import Query
+
+from common import emit, format_table, make_catalog
+
+CLIENT_SPEED = 2_000.0  # work units / second — deliberately feeble
+
+
+def build(speed_ratio: float):
+    system = AXMLSystem.with_peers(
+        ["client", "helper"], bandwidth=5_000_000.0, latency=0.005
+    )
+    system.peer("client").compute_speed = CLIENT_SPEED
+    system.peer("helper").compute_speed = CLIENT_SPEED * speed_ratio
+    system.peer("client").install_document("cat", make_catalog(300))
+    query = Query(
+        "sum(for $i in $d//item return number($i/price))",
+        params=("d",),
+        name="sum-prices",
+    )
+    local = Plan(
+        QueryApply(QueryRef(query, "client"), (DocExpr("cat", "client"),)),
+        "client",
+    )
+    delegated = Plan(EvalAt("helper", local.expr), "client")
+    return system, local, delegated
+
+
+def run_sweep():
+    rows = []
+    for ratio in (1, 2, 5, 20, 100):
+        system, local, delegated = build(ratio)
+        local_cost = measure(local, system)
+        deleg_cost = measure(delegated, system)
+        rows.append(
+            (
+                ratio,
+                local_cost.time * 1000,
+                deleg_cost.time * 1000,
+                "delegate" if deleg_cost.time < local_cost.time else "local",
+            )
+        )
+    return rows
+
+
+def test_e9_expression_delegation(benchmark):
+    rows = run_sweep()
+    emit(
+        "E9",
+        "whole-expression delegation (rule 14), by helper/client speed ratio",
+        format_table(["speed ratio", "local ms", "delegated ms", "winner"], rows),
+    )
+
+    winners = [row[3] for row in rows]
+    assert winners[0] == "local"         # equal speeds: shipping is pure loss
+    assert winners[-1] == "delegate"     # 100x helper: shipping amortized
+    assert "local" in winners and "delegate" in winners  # a real crossover
+    # delegated time is monotone non-increasing in helper speed
+    delegated_times = [row[2] for row in rows]
+    assert all(a >= b - 1e-6 for a, b in zip(delegated_times, delegated_times[1:]))
+
+    system, local, delegated = build(20)
+    assert check_equivalence(local, delegated, system).equivalent
+    benchmark.pedantic(lambda: measure(delegated, system), rounds=3, iterations=1)

@@ -1,0 +1,85 @@
+"""Shared infrastructure for the experiment benches (DESIGN.md §4).
+
+Every bench:
+
+* builds its workload with the generators here (seeded, deterministic);
+* sweeps a parameter, producing a table of rows;
+* *asserts the paper's claimed shape* (who wins, where the crossover is);
+* emits the table via :func:`emit` — printed and written to
+  ``benchmarks/results/<id>.txt`` so EXPERIMENTS.md can quote it;
+* times one representative operation through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+from repro.peers import AXMLSystem
+from repro.xmlcore import Element, parse
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Wide-area-ish defaults: 200 kB/s links, 15 ms latency.  Chosen so that
+#: data shipping is the dominant cost, the regime the paper targets.
+WAN_BANDWIDTH = 200_000.0
+WAN_LATENCY = 0.015
+
+
+def make_catalog(n_items: int, payload_words: int = 8) -> Element:
+    """The standard catalog workload: n items with name/price/desc."""
+    return parse(
+        "<catalog>"
+        + "".join(
+            f"<item><name>item-{i}</name><price>{i}</price>"
+            f"<desc>{'word ' * payload_words}</desc></item>"
+            for i in range(n_items)
+        )
+        + "</catalog>"
+    )
+
+
+def client_data_system(
+    n_items: int = 300,
+    bandwidth: float = WAN_BANDWIDTH,
+    latency: float = WAN_LATENCY,
+    extra_peers: Sequence[str] = ("helper",),
+) -> AXMLSystem:
+    """Client + data(+helpers) on a uniform mesh, catalog at ``data``."""
+    system = AXMLSystem.with_peers(
+        ["client", "data", *extra_peers], bandwidth=bandwidth, latency=latency
+    )
+    system.peer("data").install_document("cat", make_catalog(n_items))
+    return system
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width text table (the 'series the paper reports')."""
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def emit(experiment_id: str, title: str, table: str) -> None:
+    """Print the experiment table and persist it under results/."""
+    text = f"[{experiment_id}] {title}\n{table}\n"
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id.lower()}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

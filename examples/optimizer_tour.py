@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""A guided tour of the seven equivalence rules (paper Section 3.3).
+
+For each rule (10)-(16) this builds the smallest system exhibiting it,
+shows the naive plan, every rewrite the rule proposes, the measured cost
+of each, and the machine-checked equivalence verdict — the executable
+version of the paper's rule catalogue.
+
+Run:  python examples/optimizer_tour.py
+"""
+
+from repro.core import (
+    DelegateExpression,
+    DocDest,
+    DocExpr,
+    Plan,
+    PushQueryOverCall,
+    PushSelection,
+    QueryApply,
+    QueryDelegation,
+    QueryRef,
+    RelocateCall,
+    Reroute,
+    Send,
+    ServiceCallExpr,
+    TransferReuse,
+    TreeExpr,
+    check_equivalence,
+    measure,
+)
+from repro.peers import AXMLSystem
+from repro.xmlcore import element, parse
+from repro.xquery import Query
+
+
+def catalog(n=80):
+    return parse(
+        "<catalog>"
+        + "".join(
+            f"<item><name>n{i}</name><price>{i}</price>"
+            f"<desc>{'text ' * 6}</desc></item>"
+            for i in range(n)
+        )
+        + "</catalog>"
+    )
+
+
+def fresh_system():
+    system = AXMLSystem.with_peers(
+        ["client", "data", "helper"], bandwidth=80_000.0
+    )
+    system.peer("data").install_document("cat", catalog())
+    system.peer("data").install_query_service(
+        "all-items",
+        "declare variable $d external; <all>{$d//item}</all>",
+        params=("d",),
+    )
+    return system
+
+
+def selection_query():
+    return Query(
+        "for $i in $d//item where $i/price > 75 return <r>{$i/name/text()}</r>",
+        params=("d",),
+        name="sel",
+    )
+
+
+def show(rule, plan, system):
+    print(f"\n=== {rule.name} ===")
+    print(f"  naive: {plan.describe()}")
+    print(f"         {measure(plan, system).describe()}")
+    rewrites = rule.apply(plan, system)
+    if not rewrites:
+        print("  (rule does not match this plan)")
+        return
+    for rewrite in rewrites:
+        try:
+            cost = measure(rewrite.plan, system)
+        except Exception as exc:
+            print(f"  -> {rewrite.note}: not evaluable ({exc})")
+            continue
+        verdict = check_equivalence(plan, rewrite.plan, system)
+        mark = "≡" if verdict.equivalent else "≠(!)"
+        print(f"  -> {rewrite.note:32s} {cost.describe():>32s}  {mark}")
+
+
+def main():
+    # (10) query delegation --------------------------------------------------
+    system = fresh_system()
+    plan10 = Plan(
+        QueryApply(QueryRef(selection_query(), "client"), (DocExpr("cat", "data"),)),
+        "client",
+    )
+    show(QueryDelegation(all_peers=True), plan10, system)
+
+    # (11) pushing selections (Example 1) -------------------------------------
+    show(PushSelection(), plan10, system)
+
+    # (12) rerouting a transfer ------------------------------------------------
+    system = fresh_system()
+    plan12 = Plan(Send(DocDest("copy", "helper"), DocExpr("cat", "data")), "data")
+    show(Reroute(), plan12, system)
+
+    # (13) transfer reuse ----------------------------------------------------------
+    system = fresh_system()
+    both = Query(
+        "declare variable $a external; declare variable $b external; "
+        "count($a//item) + count($b//item)",
+        params=("a", "b"),
+        name="both",
+    )
+    plan13 = Plan(
+        QueryApply(
+            QueryRef(both, "client"),
+            (DocExpr("cat", "data"), DocExpr("cat", "data")),
+        ),
+        "client",
+    )
+    show(TransferReuse(), plan13, system)
+
+    # (14) whole-expression delegation ------------------------------------------------
+    show(DelegateExpression(), plan10, fresh_system())
+
+    # (15) relocating a call with a forward list ----------------------------------------
+    system = fresh_system()
+    inbox = element("inbox")
+    system.peer("helper").install_document("acc", inbox)
+    params = parse("<catalog><item><name>x</name><price>9</price></item></catalog>")
+    plan15 = Plan(
+        ServiceCallExpr(
+            "data", "all-items", (TreeExpr(params, "client"),), (inbox.node_id,)
+        ),
+        "client",
+    )
+    show(RelocateCall(), plan15, system)
+
+    # (16) pushing a query over a service call ---------------------------------------------
+    system = fresh_system()
+    consumer = Query(
+        "for $i in $r//item where $i/price > 77 return $i/name",
+        params=("r",),
+        name="consumer",
+    )
+    plan16 = Plan(
+        QueryApply(
+            QueryRef(consumer, "client"),
+            (ServiceCallExpr("data", "all-items", (DocExpr("cat", "data"),)),),
+        ),
+        "client",
+    )
+    show(PushQueryOverCall(), plan16, system)
+
+
+if __name__ == "__main__":
+    main()

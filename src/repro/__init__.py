@@ -1,0 +1,25 @@
+"""repro — a reproduction of "A Framework for Distributed XML Data
+Management" (Abiteboul, Manolescu, Taropa; EDBT 2006).
+
+The package implements, from scratch:
+
+* :mod:`repro.xmlcore` — XML data model, parser, serializer, unordered
+  canonical forms, schema-lite types;
+* :mod:`repro.xquery` — an XQuery-subset engine (FLWOR, paths,
+  constructors, 60+ builtins) with query composition/decomposition;
+* :mod:`repro.net` — a discrete-event network simulator with
+  byte-accurate message accounting;
+* :mod:`repro.peers` — peers hosting documents and services, generic
+  name registry with pick policies, the system state Σ;
+* :mod:`repro.axml` — AXML documents with embedded service calls,
+  activation modes, continuous streams;
+* :mod:`repro.core` — the paper's contribution: the expression algebra
+  E, eval definitions (1)–(9), equivalence rules (10)–(16), cost model,
+  optimizer, and machine-checked equivalence verification.
+
+Start with ``examples/quickstart.py`` or the README.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["xmlcore", "xquery", "net", "peers", "axml", "core", "errors"]

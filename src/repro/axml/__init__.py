@@ -1,0 +1,43 @@
+"""AXML layer: documents with embedded service calls, activation, streams.
+
+>>> from repro.axml import AXMLDocument, make_service_call, ActivationEngine
+>>> from repro.peers import AXMLSystem
+>>> from repro.xmlcore import element
+>>> system = AXMLSystem.with_peers(["p0", "p1"])
+>>> _ = system.peer("p1").install_query_service(
+...     "hello", '<greeting>hi</greeting>')
+>>> root = element("doc", make_service_call("p1", "hello"))
+>>> _ = system.peer("p0").install_document("d0", root)
+>>> doc = AXMLDocument("d0", "p0", root)
+>>> engine = ActivationEngine(system)
+>>> results = engine.run_immediate(doc)
+>>> [r.provider for r in results]
+['p1']
+>>> root.child_by_tag("greeting").string_value()
+'hi'
+"""
+
+from .activation import ActivationEngine, ActivationResult
+from .document import (
+    ANY_PROVIDER,
+    ActivationMode,
+    AXMLDocument,
+    ServiceCall,
+    find_service_calls,
+    make_service_call,
+)
+from .streams import IncrementalQuery, StreamChannel, Subscription
+
+__all__ = [
+    "ActivationEngine",
+    "ActivationResult",
+    "ActivationMode",
+    "AXMLDocument",
+    "ServiceCall",
+    "find_service_calls",
+    "make_service_call",
+    "ANY_PROVIDER",
+    "StreamChannel",
+    "Subscription",
+    "IncrementalQuery",
+]

@@ -1,0 +1,284 @@
+"""Cost model for plans: measured (oracle) and estimated (static).
+
+Two interchangeable cost functions drive the optimizer:
+
+* :func:`measure` — clone Σ, actually evaluate the plan with the
+  definitional evaluator, read the network statistics and the virtual
+  completion time.  Exact by construction; affordable because Σ in this
+  reproduction is in-memory.  This is the reference the estimator is
+  validated against (ablation A1).
+* :class:`CostEstimator` — a static model walking the expression:
+  document sizes come from Σ, query selectivities from a statistics
+  table (default applied when unknown), link costs from the topology.
+  No evaluation happens; mis-estimation is visible in A1.
+
+The scalar ordering combines completion time with a per-byte tax so that
+plans tying on time are separated by traffic (the paper's experiments
+talk about both shipped volume and response time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..peers.service import DeclarativeService
+from ..peers.system import AXMLSystem
+from ..xmlcore.model import tree_size
+from .evaluator import ExpressionEvaluator
+from .expressions import (
+    ANY,
+    DocDest,
+    DocExpr,
+    EvalAt,
+    Expression,
+    GenericDoc,
+    GenericService,
+    NodesDest,
+    PeerDest,
+    QueryApply,
+    QueryRef,
+    Send,
+    Seq,
+    ServiceCallExpr,
+    TreeExpr,
+)
+from .rules import Plan
+from .serialize import expression_size
+
+__all__ = ["Cost", "Statistics", "measure", "CostEstimator"]
+
+#: Default fraction of a document a selection query retains when no
+#: statistic is registered for it.
+DEFAULT_SELECTIVITY = 0.25
+
+
+@dataclass(frozen=True)
+class Cost:
+    """What a plan costs: bytes moved, messages sent, completion time."""
+
+    bytes: int
+    messages: int
+    time: float
+
+    #: weight of one shipped byte, in seconds, for scalarization; chosen
+    #: so a megabyte of avoidable traffic outweighs a few milliseconds.
+    BYTE_WEIGHT = 2e-7
+
+    def scalar(self) -> float:
+        """Total order used by the optimizer (lower is better)."""
+        return self.time + self.bytes * self.BYTE_WEIGHT
+
+    def __lt__(self, other: "Cost") -> bool:
+        return self.scalar() < other.scalar()
+
+    def describe(self) -> str:
+        return f"{self.bytes}B / {self.messages} msgs / {self.time * 1000:.2f}ms"
+
+
+@dataclass
+class Statistics:
+    """Optimizer statistics: per-query selectivity and result-size hints.
+
+    ``selectivity[name]`` — fraction of input bytes surviving query
+    ``name``; ``result_bytes[name]`` — absolute output estimate that, when
+    present, wins over the fraction.
+    """
+
+    selectivity: Dict[str, float] = field(default_factory=dict)
+    result_bytes: Dict[str, int] = field(default_factory=dict)
+    default_selectivity: float = DEFAULT_SELECTIVITY
+
+    def query_output_bytes(self, name: Optional[str], input_bytes: int) -> int:
+        if name and name in self.result_bytes:
+            return self.result_bytes[name]
+        fraction = self.selectivity.get(name, self.default_selectivity)
+        return max(1, int(input_bytes * fraction))
+
+
+def measure(plan: Plan, system: AXMLSystem, pick_policy=None) -> Cost:
+    """Oracle cost: evaluate on a clone of Σ, return the real accounting."""
+    twin = system.clone()
+    evaluator = ExpressionEvaluator(twin, pick_policy)
+    outcome = evaluator.eval(plan.expr, plan.site)
+    stats = twin.network.stats
+    return Cost(stats.bytes, stats.messages, outcome.completed_at)
+
+
+class CostEstimator:
+    """Static, no-execution cost estimation.
+
+    The walk returns, per sub-expression, the estimated value size (bytes
+    at the evaluation site) and accumulates transfer bytes / messages /
+    time into the running totals.  Compute time is estimated from input
+    sizes and the hosting peer's speed — coarser than the evaluator's
+    charging but monotone in the same quantities.
+    """
+
+    ENVELOPE = 64  # keep aligned with Message.ENVELOPE_OVERHEAD
+
+    def __init__(self, system: AXMLSystem, statistics: Optional[Statistics] = None,
+                 count_bytes: bool = True, count_time: bool = True) -> None:
+        self.system = system
+        self.statistics = statistics or Statistics()
+        #: ablation switches (A1): ignore byte or time terms entirely.
+        self.count_bytes = count_bytes
+        self.count_time = count_time
+
+    # -- public -------------------------------------------------------------
+    def estimate(self, plan: Plan) -> Cost:
+        self._bytes = 0
+        self._messages = 0
+        self._time = 0.0
+        self._visit(plan.expr, plan.site)
+        return Cost(
+            self._bytes if self.count_bytes else 0,
+            self._messages,
+            self._time if self.count_time else 0.0,
+        )
+
+    __call__ = estimate
+
+    # -- transfer helpers --------------------------------------------------------
+    def _charge_transfer(self, src: str, dst: str, size: int) -> None:
+        if src == dst:
+            return
+        size += self.ENVELOPE
+        self._bytes += size
+        self._messages += 1
+        try:
+            links = self.system.network.route(src, dst)
+        except Exception:
+            return
+        self._time += sum(l.latency + size / l.bandwidth for l in links)
+
+    def _charge_compute(self, peer_id: str, work_bytes: int) -> None:
+        peer = self.system.peer(peer_id)
+        # ~1 work unit (tree node) per 32 serialized bytes, a rough census
+        self._time += (work_bytes / 32.0) / peer.compute_speed
+
+    # -- sizes ------------------------------------------------------------------
+    def _doc_bytes(self, name: str, home: str) -> int:
+        peer = self.system.peer(home)
+        if peer.has_document(name):
+            return peer.document(name).serialized_size()
+        return 1024  # unknown (e.g. temp doc created mid-plan): nominal
+
+    def _plan_estimate(self, head: QueryRef, input_bytes: int) -> Optional[int]:
+        """Selectivity from the compiled logical plan, when it compiles.
+
+        Covers the single-``for`` pipeline shape without needing a
+        registered statistic; anything the compiler rejects falls back to
+        the statistics table's default.
+        """
+        from ..errors import XQueryError
+        from ..xquery.algebra import SourceStats, compile_query
+
+        try:
+            plan = compile_query(head.query.module)
+        except XQueryError:
+            return None
+        item_bytes = 100
+        stats = SourceStats(
+            cardinality=max(1, input_bytes // item_bytes),
+            item_bytes=item_bytes,
+        )
+        return max(1, int(plan.estimate(stats).total_bytes))
+
+    # -- walk -----------------------------------------------------------------
+    def _visit(self, expr: Expression, site: str) -> int:
+        """Returns estimated size (bytes) of the value at ``site``."""
+        if isinstance(expr, TreeExpr):
+            size = expr.tree.serialized_size()
+            self._charge_transfer(expr.home, site, size)
+            return size
+        if isinstance(expr, DocExpr):
+            size = self._doc_bytes(expr.name, expr.home)
+            self._charge_transfer(expr.home, site, size)
+            return size
+        if isinstance(expr, GenericDoc):
+            members = self.system.registry.document_members(expr.name)
+            if not members:
+                return 1024
+            # assume the pick policy finds the cheapest member
+            best = min(
+                members,
+                key=lambda m: 0.0 if m.peer == site else sum(
+                    l.latency for l in self.system.network.route(site, m.peer)
+                ),
+            )
+            return self._visit(DocExpr(best.name, best.peer), site)
+        if isinstance(expr, QueryRef):
+            size = len(expr.query.source.encode("utf-8"))
+            self._charge_transfer(expr.home, site, size)
+            return size
+        if isinstance(expr, QueryApply):
+            input_bytes = sum(self._visit(arg, site) for arg in expr.args)
+            name = None
+            if isinstance(expr.query, QueryRef):
+                name = expr.query.query.name
+                self._charge_transfer(
+                    expr.query.home, site, len(expr.query.query.source.encode())
+                )
+            self._charge_compute(site, input_bytes)
+            known = (
+                name in self.statistics.selectivity
+                or name in self.statistics.result_bytes
+            )
+            if not known and isinstance(expr.query, QueryRef):
+                plan_bytes = self._plan_estimate(expr.query, input_bytes)
+                if plan_bytes is not None:
+                    return plan_bytes
+            return self.statistics.query_output_bytes(name, input_bytes)
+        if isinstance(expr, ServiceCallExpr):
+            provider = expr.provider
+            if provider == ANY:
+                members = self.system.registry.service_members(expr.service)
+                provider = members[0].peer if members else site
+            param_bytes = sum(self._visit(p, site) for p in expr.params)
+            self._charge_transfer(site, provider, param_bytes)
+            service_name = expr.service
+            result_name = None
+            peer = self.system.peer(provider)
+            if peer.has_service(service_name):
+                service = peer.service(service_name)
+                if isinstance(service, DeclarativeService):
+                    result_name = service.query.name or service_name
+            self._charge_compute(provider, param_bytes)
+            out = self.statistics.query_output_bytes(result_name, max(param_bytes, 1024))
+            if expr.forwards:
+                for target in expr.forwards:
+                    self._charge_transfer(provider, target.peer, out)
+                return 0
+            self._charge_transfer(provider, site, out)
+            return out
+        if isinstance(expr, Send):
+            payload_bytes = self._visit(expr.payload, site)
+            hops = [site] + list(expr.via)
+            final = _dest_peer_of(expr.dest, site)
+            for src, dst in zip(hops, hops[1:] + [final]):
+                self._charge_transfer(src, dst, payload_bytes)
+            return 0
+        if isinstance(expr, EvalAt):
+            if expr.peer != site:
+                self._charge_transfer(site, expr.peer, expression_size(expr.expr))
+            inner = self._visit(expr.expr, expr.peer)
+            if inner > 0:
+                self._charge_transfer(expr.peer, site, inner)
+            return inner
+        if isinstance(expr, Seq):
+            last = 0
+            for step in expr.steps:
+                last = self._visit(step, site)
+            return last
+        return 0
+
+
+def _dest_peer_of(dest, default: str) -> str:
+    if isinstance(dest, PeerDest):
+        return dest.peer
+    if isinstance(dest, DocDest):
+        return dest.peer
+    if isinstance(dest, NodesDest) and dest.nodes:
+        return dest.nodes[0].peer
+    return default

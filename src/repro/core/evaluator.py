@@ -1,0 +1,628 @@
+"""Evaluation of AXML expressions: definitions (1)–(9) of the paper.
+
+``eval@p(e)`` may (Section 3.2): (i) return a tree / stream of trees,
+(ii) return a new service, (iii) side-effect Σ by creating streams under
+well-specified nodes on one or more peers.  :class:`EvalOutcome` carries
+all three, plus the virtual completion time, which the benchmarks report.
+
+Mapping from the paper's definitions to code paths:
+
+=========  ==================================================================
+(1)        ``TreeExpr`` at its home peer: copy the tree, recursively
+           evaluate children; embedded ``sc`` nodes evaluate via (6)
+(2)        ``QueryApply`` with local head and args: evaluate args, then
+           the query, at the same peer (compute time charged)
+(3),(4)    ``Send``: empty result at the sender; the copy's arrival at
+           peer / node-list / document destinations is a side effect
+(5)        ``TreeExpr``/``DocExpr`` evaluated away from home: the home
+           peer evaluates and ships the result to the evaluation site
+(6)        ``ServiceCallExpr``: params evaluated at the caller, shipped
+           to the provider, the implementing query runs there, results
+           ship to the forward list (or back to the caller by default)
+(7)        ``QueryApply`` whose head lives elsewhere: the query (and any
+           remote args) are shipped to the evaluation site first
+(8)        ``Send`` of a ``QueryRef``: deploys the query as a new service
+           at the destination; the expression itself evaluates to ∅
+(9)        ``GenericDoc`` / ``GenericService``: resolved through the
+           registry's pick functions, then re-evaluated concretely
+=========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..axml.document import ServiceCall
+from ..errors import (
+    EvaluationUndefinedError,
+    ExpressionError,
+    ServiceCallError,
+    UnknownServiceError,
+)
+from ..net.message import Message, MessageKind
+from ..peers.registry import PickPolicy
+from ..peers.service import DeclarativeService, Service
+from ..peers.system import AXMLSystem
+from ..xmlcore.model import Element, NodeId, Text, iter_elements, tree_size
+from ..xmlcore.serializer import serialize
+from ..xquery import Query
+from ..xquery.runtime import string_value
+from .expressions import (
+    ANY,
+    DocDest,
+    DocExpr,
+    EvalAt,
+    Expression,
+    GenericDoc,
+    GenericService,
+    NodesDest,
+    PeerDest,
+    QueryApply,
+    QueryRef,
+    Send,
+    Seq,
+    ServiceCallExpr,
+    TreeExpr,
+)
+from .serialize import expression_size, expression_to_text
+
+__all__ = ["EvalOutcome", "ExpressionEvaluator"]
+
+_MAX_ACTIVATION_DEPTH = 64
+
+
+@dataclass
+class EvalOutcome:
+    """Result of ``eval@p(e)``: value, timing and side-effect records."""
+
+    #: The value at the evaluation site (a forest; ∅ for pure sends).
+    items: List[Element] = field(default_factory=list)
+    #: A query value (when the expression was a bare QueryRef).
+    query: Optional[Query] = None
+    #: Virtual time at which the value (and all side effects) settled.
+    completed_at: float = 0.0
+    #: Documents installed as side effects: (doc_name, peer).
+    installed: List[Tuple[str, str]] = field(default_factory=list)
+    #: Services deployed as side effects: (service_name, peer).
+    deployed: List[Tuple[str, str]] = field(default_factory=list)
+    #: Node targets that received stream items: NodeId list.
+    delivered: List[NodeId] = field(default_factory=list)
+
+    def merge_effects(self, other: "EvalOutcome") -> None:
+        self.installed.extend(other.installed)
+        self.deployed.extend(other.deployed)
+        self.delivered.extend(other.delivered)
+
+
+class ExpressionEvaluator:
+    """Evaluates expressions of E against an :class:`AXMLSystem`.
+
+    The evaluator is the *definitional* strategy of Section 3.2 — it
+    applies definitions (1)–(9) top-down.  Optimized strategies come from
+    rewriting the expression first (:mod:`repro.core.rules`), never from
+    changing this evaluator, mirroring the paper's logical/algebraic
+    split.
+    """
+
+    def __init__(
+        self,
+        system: AXMLSystem,
+        pick_policy: Optional[PickPolicy] = None,
+    ) -> None:
+        self.system = system
+        self.pick_policy = pick_policy
+        self._deploy_counter = 0
+        self._install_counter = 0
+
+    # -- entry point -------------------------------------------------------------
+    def eval(
+        self, expr: Expression, at: str, ready_at: float = 0.0, _depth: int = 0
+    ) -> EvalOutcome:
+        """``eval@at(expr)`` starting no earlier than ``ready_at``."""
+        if _depth > _MAX_ACTIVATION_DEPTH:
+            raise ExpressionError("expression evaluation exceeded depth bound")
+        self.system.peer(at)  # validate the site exists
+        if isinstance(expr, TreeExpr):
+            return self._eval_tree(expr, at, ready_at, _depth)
+        if isinstance(expr, DocExpr):
+            return self._eval_doc(expr, at, ready_at, _depth)
+        if isinstance(expr, GenericDoc):
+            return self._eval_generic_doc(expr, at, ready_at, _depth)
+        if isinstance(expr, QueryRef):
+            return self._eval_query_ref(expr, at, ready_at)
+        if isinstance(expr, GenericService):
+            raise ExpressionError(
+                "a generic service can only appear as a call/apply head"
+            )
+        if isinstance(expr, QueryApply):
+            return self._eval_apply(expr, at, ready_at, _depth)
+        if isinstance(expr, ServiceCallExpr):
+            return self._eval_service_call(expr, at, ready_at, _depth)
+        if isinstance(expr, Send):
+            return self._eval_send(expr, at, ready_at, _depth)
+        if isinstance(expr, EvalAt):
+            return self._eval_eval_at(expr, at, ready_at, _depth)
+        if isinstance(expr, Seq):
+            return self._eval_seq(expr, at, ready_at, _depth)
+        raise ExpressionError(f"cannot evaluate {type(expr).__name__}")
+
+    # -- definitions (1) and (5): trees ----------------------------------------------
+    def _eval_tree(
+        self, expr: TreeExpr, at: str, ready_at: float, depth: int
+    ) -> EvalOutcome:
+        if at != expr.home:
+            # definition (5): the home evaluates, then ships the result here.
+            home_outcome = self.eval(expr, expr.home, ready_at, depth + 1)
+            return self._ship_items(
+                home_outcome, expr.home, at, home_outcome.completed_at
+            )
+        # definition (1) at home: copy, activate embedded calls via (6).
+        outcome = EvalOutcome(completed_at=ready_at)
+        evaluated = self._activate_tree(
+            expr.tree.copy(), at, ready_at, depth, outcome
+        )
+        outcome.items = [evaluated] if evaluated is not None else []
+        return outcome
+
+    def _activate_tree(
+        self,
+        tree: Element,
+        at: str,
+        ready_at: float,
+        depth: int,
+        outcome: EvalOutcome,
+    ) -> Optional[Element]:
+        """Definition (1): copy the root, push evaluation into children.
+
+        Embedded ``sc`` elements evaluate per definition (6); with a
+        default forward list their responses replace them in place, with
+        an explicit one the responses leave the tree and ∅ remains.
+        Returns None when the tree itself was an sc with explicit targets.
+        """
+        if tree.is_service_call():
+            if tree.get("activated") == "true":
+                # already fired by the AXML activation engine; its results
+                # accumulated as siblings — the data fixpoint drops the sc.
+                return None
+            call = ServiceCall.parse(tree)
+            call_expr = ServiceCallExpr(
+                provider=call.provider,
+                service=call.service,
+                params=tuple(
+                    TreeExpr(payload, at) for payload in call.param_payloads()
+                ),
+                forwards=call.forwards,
+            )
+            sub = self.eval(call_expr, at, ready_at, depth + 1)
+            outcome.merge_effects(sub)
+            outcome.completed_at = max(outcome.completed_at, sub.completed_at)
+            if call.forwards:
+                return None
+            if len(sub.items) == 1:
+                return sub.items[0]
+            wrapper = Element("results")
+            for item in sub.items:
+                wrapper.append(item)
+            return wrapper
+
+        replacements: List[Tuple[Element, Optional[Element]]] = []
+        for child in list(tree.children):
+            if isinstance(child, Element):
+                evaluated = self._activate_tree(
+                    child, at, ready_at, depth, outcome
+                )
+                if evaluated is not child:
+                    replacements.append((child, evaluated))
+        for old, new in replacements:
+            if new is None:
+                tree.remove(old)
+            else:
+                tree.replace_child(old, new)
+        return tree
+
+    # -- documents ----------------------------------------------------------------
+    def _eval_doc(
+        self, expr: DocExpr, at: str, ready_at: float, depth: int
+    ) -> EvalOutcome:
+        home = self.system.peer(expr.home)
+        tree = home.document(expr.name)
+        inner = TreeExpr(tree, expr.home)
+        if at == expr.home:
+            outcome = self.eval(inner, at, ready_at, depth + 1)
+            # "p2 has replaced this local tree with the result of eval" —
+            # the activated version becomes the stored document.
+            if len(outcome.items) == 1:
+                home.install_document(expr.name, outcome.items[0], replace=True)
+            return outcome
+        home_outcome = self.eval(inner, expr.home, ready_at, depth + 1)
+        if len(home_outcome.items) == 1:
+            home.install_document(expr.name, home_outcome.items[0], replace=True)
+        return self._ship_items(
+            home_outcome, expr.home, at, home_outcome.completed_at
+        )
+
+    def _eval_generic_doc(
+        self, expr: GenericDoc, at: str, ready_at: float, depth: int
+    ) -> EvalOutcome:
+        # definition (9): pickDoc, then evaluate the concrete reference.
+        member = self.system.registry.pick_document(
+            expr.name, at, self.system, self.pick_policy
+        )
+        return self.eval(DocExpr(member.name, member.peer), at, ready_at, depth + 1)
+
+    # -- queries as values (and definition (8) deployment) ------------------------------
+    def _eval_query_ref(
+        self, expr: QueryRef, at: str, ready_at: float
+    ) -> EvalOutcome:
+        if at == expr.home:
+            return EvalOutcome(query=expr.query, completed_at=ready_at)
+        message = Message(
+            src=expr.home,
+            dst=at,
+            kind=MessageKind.QUERY,
+            payload=expr.query.source,
+        )
+        arrival = self.system.network.deliver(message, ready_at)
+        return EvalOutcome(query=expr.query, completed_at=arrival)
+
+    # -- definitions (2) and (7): query application ---------------------------------------
+    def _eval_apply(
+        self, expr: QueryApply, at: str, ready_at: float, depth: int
+    ) -> EvalOutcome:
+        query, query_ready = self._resolve_apply_head(expr.query, at, ready_at)
+
+        outcome = EvalOutcome()
+        arg_values: List[List[Element]] = []
+        latest = query_ready
+        for arg in expr.args:
+            sub = self.eval(arg, at, ready_at, depth + 1)
+            outcome.merge_effects(sub)
+            arg_values.append(sub.items)
+            latest = max(latest, sub.completed_at)
+
+        peer = self.system.peer(at)
+        result, done = peer.evaluate(query, arg_values, latest)
+        outcome.items = _as_forest(result)
+        outcome.completed_at = done
+        return outcome
+
+    def _resolve_apply_head(
+        self, head, at: str, ready_at: float
+    ) -> Tuple[Query, float]:
+        if isinstance(head, GenericService):
+            member = self.system.registry.pick_service(
+                head.name, at, self.system, self.pick_policy
+            )
+            service = self.system.peer(member.peer).service(member.name)
+            if not isinstance(service, DeclarativeService):
+                raise ExpressionError(
+                    f"generic service {head.name!r} resolved to a "
+                    "non-declarative implementation; cannot apply as a query"
+                )
+            head = QueryRef(service.query, member.peer)
+        assert isinstance(head, QueryRef)
+        if head.home == at:
+            return head.query, ready_at
+        # definition (7): the defining peer ships the query text here.
+        message = Message(
+            src=head.home, dst=at, kind=MessageKind.QUERY, payload=head.query.source
+        )
+        arrival = self.system.network.deliver(message, ready_at)
+        return head.query, arrival
+
+    # -- definition (6): service calls ------------------------------------------------
+    def _eval_service_call(
+        self, expr: ServiceCallExpr, at: str, ready_at: float, depth: int
+    ) -> EvalOutcome:
+        provider_id = expr.provider
+        if provider_id == ANY:
+            member = self.system.registry.pick_service(
+                expr.service, at, self.system, self.pick_policy
+            )
+            provider_id = member.peer
+            service_name = member.name
+        else:
+            service_name = expr.service
+        provider = self.system.peer(provider_id)
+        try:
+            service = provider.service(service_name)
+        except UnknownServiceError:
+            raise ServiceCallError(
+                f"service {service_name!r} not found on peer {provider_id!r}"
+            ) from None
+
+        outcome = EvalOutcome()
+        param_values: List[Element] = []
+        latest = ready_at
+        for param in expr.params:
+            sub = self.eval(param, at, ready_at, depth + 1)
+            outcome.merge_effects(sub)
+            latest = max(latest, sub.completed_at)
+            param_values.extend(sub.items)
+
+        # ship parameters to the provider (one CALL message)
+        payload = "".join(serialize(p) for p in param_values)
+        call_message = Message(
+            src=at,
+            dst=provider_id,
+            kind=MessageKind.CALL,
+            payload=payload,
+            headers={"service": service_name},
+        )
+        arrival = self.system.network.deliver(call_message, latest)
+
+        responses = service.invoke(param_values, provider)
+        done = provider.charge(service.work_units(param_values), arrival)
+
+        # responses may embed further service calls — activate them at the
+        # provider before shipping (the response must be a data tree).
+        settled: List[Element] = []
+        for response in responses:
+            sub = self.eval(
+                TreeExpr(response, provider_id), provider_id, done, depth + 1
+            )
+            outcome.merge_effects(sub)
+            done = max(done, sub.completed_at)
+            settled.extend(sub.items)
+
+        if expr.forwards:
+            last = done
+            for response in settled:
+                for target in expr.forwards:
+                    last = max(
+                        last,
+                        self._deliver_to_node(
+                            provider_id, target, response, done, outcome
+                        ),
+                    )
+            outcome.completed_at = last
+            return outcome
+
+        # default: results return to the caller (siblings of the sc node).
+        if provider_id == at:
+            outcome.items = settled
+            outcome.completed_at = done
+            return outcome
+        last = done
+        for response in settled:
+            message = Message(
+                src=provider_id,
+                dst=at,
+                kind=MessageKind.RESULT,
+                payload=serialize(response),
+            )
+            last = max(last, self.system.network.deliver(message, done))
+        outcome.items = settled
+        outcome.completed_at = last
+        return outcome
+
+    # -- definitions (3), (4), (8): send -------------------------------------------------
+    def _eval_send(
+        self, expr: Send, at: str, ready_at: float, depth: int
+    ) -> EvalOutcome:
+        payload = expr.payload
+        # "p2 cannot send something it doesn't have": a direct reference to
+        # data or a query homed elsewhere makes the send undefined.
+        if isinstance(payload, (TreeExpr, DocExpr)) and payload.home != at:
+            raise EvaluationUndefinedError(
+                f"send at {at!r} of data homed at {payload.home!r} is undefined"
+            )
+        if isinstance(payload, QueryRef) and payload.home != at:
+            raise EvaluationUndefinedError(
+                f"send at {at!r} of a query defined at {payload.home!r} is undefined"
+            )
+
+        inner = self.eval(payload, at, ready_at, depth + 1)
+        outcome = EvalOutcome(completed_at=inner.completed_at)
+        outcome.merge_effects(inner)
+
+        if inner.query is not None and not inner.items:
+            return self._deploy_query(expr, inner, at, outcome)
+
+        clock = inner.completed_at
+        relay_from = at
+        # rule (12) relays: explicit intermediary stops, store-and-forward.
+        data = "".join(serialize(item) for item in inner.items)
+        for hop in expr.via:
+            message = Message(
+                src=relay_from, dst=hop, kind=MessageKind.DATA, payload=data
+            )
+            clock = self.system.network.deliver(message, clock)
+            relay_from = hop
+
+        dest = expr.dest
+        if isinstance(dest, PeerDest):
+            message = Message(
+                src=relay_from, dst=dest.peer, kind=MessageKind.DATA, payload=data
+            )
+            clock = self.system.network.deliver(message, clock)
+            name = self._install_anonymous(dest.peer, inner.items)
+            outcome.installed.append((name, dest.peer))
+        elif isinstance(dest, DocDest):
+            message = Message(
+                src=relay_from,
+                dst=dest.peer,
+                kind=MessageKind.INSTALL,
+                payload=data,
+                headers={"doc": dest.name},
+            )
+            clock = self.system.network.deliver(message, clock)
+            root = _forest_to_document(inner.items, dest.name)
+            self.system.peer(dest.peer).install_document(dest.name, root)
+            outcome.installed.append((dest.name, dest.peer))
+        elif isinstance(dest, NodesDest):
+            last = clock
+            for item in inner.items:
+                for target in dest.nodes:
+                    last = max(
+                        last,
+                        self._deliver_to_node(
+                            relay_from, target, item, clock, outcome
+                        ),
+                    )
+            clock = last
+        else:
+            raise ExpressionError(
+                f"unknown destination {type(dest).__name__}"
+            )
+        outcome.completed_at = clock
+        outcome.items = []  # definition (3): ∅ at the sender
+        return outcome
+
+    def _deploy_query(
+        self, expr: Send, inner: EvalOutcome, at: str, outcome: EvalOutcome
+    ) -> EvalOutcome:
+        # definition (8): deploy the query as a new service at the target.
+        dest = expr.dest
+        if not isinstance(dest, PeerDest):
+            raise ExpressionError(
+                "a query can only be sent to a peer destination"
+            )
+        query = inner.query
+        message = Message(
+            src=at, dst=dest.peer, kind=MessageKind.QUERY, payload=query.source
+        )
+        clock = self.system.network.deliver(message, inner.completed_at)
+        target = self.system.peer(dest.peer)
+        # The paper names the deployed service send_{p→p'}(q); we use a
+        # fresh concrete name with the same flavour.
+        self._deploy_counter += 1
+        name = query.name or "q"
+        service_name = f"sent-{name}-{self._deploy_counter}"
+        target.install_service(
+            DeclarativeService(service_name, Query(query.source, query.params, service_name))
+        )
+        outcome.deployed.append((service_name, dest.peer))
+        outcome.completed_at = clock
+        outcome.items = []
+        return outcome
+
+    # -- EvalAt and Seq -------------------------------------------------------------------
+    def _eval_eval_at(
+        self, expr: EvalAt, at: str, ready_at: float, depth: int
+    ) -> EvalOutcome:
+        if expr.peer == at:
+            return self.eval(expr.expr, at, ready_at, depth + 1)
+        # ship the expression tree itself (code shipping)
+        message = Message(
+            src=at,
+            dst=expr.peer,
+            kind=MessageKind.QUERY,
+            payload=expression_to_text(expr.expr),
+        )
+        arrival = self.system.network.deliver(message, ready_at)
+        remote = self.eval(expr.expr, expr.peer, arrival, depth + 1)
+        if not remote.items and remote.query is None:
+            # pure side effects (e.g. sc with forward lists): nothing to
+            # ship back — exactly why rule (15) is free to relocate calls.
+            return remote
+        return self._ship_items(remote, expr.peer, at, remote.completed_at)
+
+    def _eval_seq(
+        self, expr: Seq, at: str, ready_at: float, depth: int
+    ) -> EvalOutcome:
+        outcome = EvalOutcome(completed_at=ready_at)
+        last: Optional[EvalOutcome] = None
+        clock = ready_at
+        for step in expr.steps:
+            last = self.eval(step, at, clock, depth + 1)
+            outcome.merge_effects(last)
+            clock = last.completed_at
+        outcome.items = last.items if last else []
+        outcome.query = last.query if last else None
+        outcome.completed_at = clock
+        return outcome
+
+    # -- shared helpers -----------------------------------------------------------------
+    def _ship_items(
+        self, outcome: EvalOutcome, src: str, dst: str, ready_at: float
+    ) -> EvalOutcome:
+        """Ship a value forest from src to dst; returns the dst-side outcome."""
+        if src == dst or (not outcome.items and outcome.query is None):
+            shipped = EvalOutcome(
+                items=[item.copy() for item in outcome.items],
+                query=outcome.query,
+                completed_at=ready_at,
+            )
+            shipped.merge_effects(outcome)
+            return shipped
+        if outcome.query is not None and not outcome.items:
+            message = Message(
+                src=src, dst=dst, kind=MessageKind.QUERY, payload=outcome.query.source
+            )
+            arrival = self.system.network.deliver(message, ready_at)
+            shipped = EvalOutcome(query=outcome.query, completed_at=arrival)
+            shipped.merge_effects(outcome)
+            return shipped
+        payload = "".join(serialize(item) for item in outcome.items)
+        message = Message(src=src, dst=dst, kind=MessageKind.DATA, payload=payload)
+        arrival = self.system.network.deliver(message, ready_at)
+        shipped = EvalOutcome(
+            items=[item.copy() for item in outcome.items],
+            completed_at=arrival,
+        )
+        shipped.merge_effects(outcome)
+        return shipped
+
+    def _deliver_to_node(
+        self,
+        src: str,
+        target: NodeId,
+        item: Element,
+        ready_at: float,
+        outcome: EvalOutcome,
+    ) -> float:
+        message = Message(
+            src=src,
+            dst=target.peer,
+            kind=MessageKind.FORWARD,
+            payload=serialize(item),
+            headers={"target": str(target)},
+        )
+        arrival = self.system.network.deliver(message, ready_at)
+        peer = self.system.peer(target.peer)
+        node = peer.find_node(target)
+        if node is None:
+            raise ExpressionError(
+                f"forward target {target} does not exist on {target.peer!r}"
+            )
+        copy = item.copy_without_ids()
+        peer.allocator.assign(copy)
+        node.append(copy)
+        outcome.delivered.append(target)
+        return arrival
+
+    def _install_anonymous(self, peer_id: str, items: List[Element]) -> str:
+        peer = self.system.peer(peer_id)
+        self._install_counter += 1
+        name = peer.fresh_document_name(f"recv-{self._install_counter}")
+        peer.install_document(name, _forest_to_document(items, name))
+        return name
+
+
+def _as_forest(result: List) -> List[Element]:
+    """Normalize query results to a forest of elements (atomics wrapped)."""
+    forest: List[Element] = []
+    for item in result:
+        if isinstance(item, Element):
+            forest.append(item.copy())
+        elif isinstance(item, Text):
+            wrapper = Element("value")
+            wrapper.append(Text(item.value))
+            forest.append(wrapper)
+        else:
+            wrapper = Element("value")
+            wrapper.append(Text(string_value(item)))
+            forest.append(wrapper)
+    return forest
+
+
+def _forest_to_document(items: List[Element], name: str) -> Element:
+    """A forest arriving as a document: single root kept, else wrapped."""
+    if len(items) == 1:
+        return items[0].copy()
+    root = Element("received")
+    for item in items:
+        root.append(item.copy())
+    return root

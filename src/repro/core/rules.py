@@ -1,0 +1,492 @@
+"""Equivalence rules (10)–(16) of the paper, as expression rewrites.
+
+Each rule is a :class:`RewriteRule` producing zero or more *alternative
+plans* for a given plan (an expression plus the peer evaluating it).  The
+definitional evaluator runs any of them; the claim — verified by
+:mod:`repro.core.verify` and the property tests — is that all
+alternatives leave Σ in the same state and produce the same value.
+
+Paper-to-class map:
+
+====  ==============================  =========================================
+(10)  :class:`QueryDelegation`        ship query + args to another peer,
+                                      evaluate there, ship the result back
+(11)  :class:`PushSelection`          decompose q = q1(σ(q2)) and evaluate the
+                                      selection where the data lives
+                                      (Example 1: *pushing selections*)
+(12)  :class:`Reroute`                add / remove an intermediary stop on a
+                                      data transfer ("not always left-to-right")
+(13)  :class:`TransferReuse`          materialize a twice-used remote tree as a
+                                      local document; pays lost parallelism
+(14)  :class:`DelegateExpression`     evaluate a whole expression tree at a
+                                      different coordinator peer
+(15)  :class:`RelocateCall`           move an sc evaluation site; results go
+                                      straight to the forward list anyway
+(16)  :class:`PushQueryOverCall`      evaluate q over a call's results at the
+                                      *provider*, composing q with the
+                                      service's implementing query q1
+====  ==============================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import DecompositionError, RewriteError
+from ..peers.service import DeclarativeService
+from ..peers.system import AXMLSystem
+from ..xquery import Query
+from ..xquery.decompose import push_selection
+from .expressions import (
+    ANY,
+    DocDest,
+    DocExpr,
+    EvalAt,
+    Expression,
+    GenericDoc,
+    NodesDest,
+    PeerDest,
+    QueryApply,
+    QueryRef,
+    Send,
+    Seq,
+    ServiceCallExpr,
+    TreeExpr,
+    transform,
+    walk,
+)
+
+__all__ = [
+    "Plan",
+    "Rewrite",
+    "RewriteRule",
+    "QueryDelegation",
+    "PushSelection",
+    "Reroute",
+    "TransferReuse",
+    "DelegateExpression",
+    "RelocateCall",
+    "PushQueryOverCall",
+    "DEFAULT_RULES",
+    "subexpression_contexts",
+]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An expression plus its evaluation site: ``eval@site(expr)``."""
+
+    expr: Expression
+    site: str
+
+    def describe(self) -> str:
+        return f"eval@{self.site}({self.expr.describe()})"
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """One alternative produced by a rule."""
+
+    plan: Plan
+    rule: str
+    note: str = ""
+
+    def describe(self) -> str:
+        suffix = f" [{self.note}]" if self.note else ""
+        return f"{self.rule}{suffix}: {self.plan.describe()}"
+
+
+ContextFn = Callable[[Expression], Expression]
+
+
+def subexpression_contexts(
+    expr: Expression,
+) -> Iterator[Tuple[Expression, ContextFn]]:
+    """Yield every sub-expression with a function rebuilding the whole.
+
+    ``rebuild(replacement)`` returns ``expr`` with that occurrence (by
+    position) swapped for ``replacement`` — the generic plumbing all
+    rules use to rewrite deep inside a plan.
+    """
+
+    def recurse(
+        node: Expression, rebuild: ContextFn
+    ) -> Iterator[Tuple[Expression, ContextFn]]:
+        yield node, rebuild
+        children = node.children()
+        for index, child in enumerate(children):
+            def child_rebuild(
+                replacement: Expression,
+                _node=node,
+                _index=index,
+            ) -> Expression:
+                kids = list(_node.children())
+                kids[_index] = replacement
+                return _node.with_children(tuple(kids))
+
+            yield from recurse(
+                child,
+                lambda r, f=child_rebuild, g=rebuild: g(f(r)),
+            )
+
+    yield from recurse(expr, lambda replacement: replacement)
+
+
+class RewriteRule:
+    """Base class: enumerate alternative plans for one plan."""
+
+    name = "rule"
+
+    def apply(self, plan: Plan, system: AXMLSystem) -> List[Rewrite]:
+        raise NotImplementedError
+
+    def _peers(self, system: AXMLSystem) -> List[str]:
+        return sorted(system.peers)
+
+
+# ---------------------------------------------------------------------------
+# Rule (10): query delegation
+# ---------------------------------------------------------------------------
+
+class QueryDelegation(RewriteRule):
+    """``eval@p1(q(t)) ≡ send_{p2→p1}((send_{p1→p2} q)(send_{p1→p2} t))``.
+
+    In expression form: wrap a :class:`QueryApply` in ``EvalAt(p2, ·)``.
+    Definitions (5)/(7) then perform exactly the three sends of the rule.
+    Candidate delegates: the home peers of the arguments (pushing the
+    query to the data — the useful direction) and, when ``all_peers`` is
+    set, every other peer (the optimizer prunes by cost).
+    """
+
+    name = "query-delegation(10)"
+
+    def __init__(self, all_peers: bool = False) -> None:
+        self.all_peers = all_peers
+
+    def apply(self, plan: Plan, system: AXMLSystem) -> List[Rewrite]:
+        rewrites: List[Rewrite] = []
+        for node, rebuild in subexpression_contexts(plan.expr):
+            if not isinstance(node, QueryApply):
+                continue
+            candidates = set()
+            for arg in node.args:
+                if isinstance(arg, (DocExpr, TreeExpr)):
+                    candidates.add(arg.home)
+            if self.all_peers:
+                candidates.update(self._peers(system))
+            candidates.discard(plan.site)
+            for peer in sorted(candidates):
+                rewrites.append(
+                    Rewrite(
+                        Plan(rebuild(EvalAt(peer, node)), plan.site),
+                        self.name,
+                        f"delegate to {peer}",
+                    )
+                )
+        return rewrites
+
+
+# ---------------------------------------------------------------------------
+# Rule (11) + Example 1: pushing selections
+# ---------------------------------------------------------------------------
+
+class PushSelection(RewriteRule):
+    """Decompose ``q ≡ q1(σ(q2))`` and evaluate σ(q2) at the data's home.
+
+    Matches ``QueryApply(q, (d@p2,))`` whose query splits via
+    :func:`repro.xquery.decompose.push_selection`; produces::
+
+        QueryApply(q1, (EvalAt(p2, QueryApply(σq2, (d@p2,))),))
+
+    so only the selected subset travels (the paper's Example 1 chain of
+    rules (11) then (10)).
+    """
+
+    name = "push-selection(11)"
+
+    def apply(self, plan: Plan, system: AXMLSystem) -> List[Rewrite]:
+        rewrites: List[Rewrite] = []
+        for node, rebuild in subexpression_contexts(plan.expr):
+            if not isinstance(node, QueryApply):
+                continue
+            if len(node.args) != 1 or not isinstance(node.args[0], (DocExpr, GenericDoc)):
+                continue
+            if not isinstance(node.query, QueryRef):
+                continue
+            arg = node.args[0]
+            home = arg.home if isinstance(arg, DocExpr) else None
+            try:
+                decomposition = push_selection(node.query.query)
+            except DecompositionError:
+                continue
+            inner_ref = QueryRef(decomposition.inner, plan.site)
+            outer_ref = QueryRef(decomposition.outer, plan.site)
+            inner_apply = QueryApply(inner_ref, (arg,))
+            if home is not None and home != plan.site:
+                inner_expr: Expression = EvalAt(home, inner_apply)
+                note = f"selection pushed to {home}"
+            else:
+                inner_expr = inner_apply
+                note = "selection split locally"
+            rewritten = QueryApply(outer_ref, (inner_expr,))
+            rewrites.append(
+                Rewrite(Plan(rebuild(rewritten), plan.site), self.name, note)
+            )
+        return rewrites
+
+
+# ---------------------------------------------------------------------------
+# Rule (12): transfer rerouting
+# ---------------------------------------------------------------------------
+
+class Reroute(RewriteRule):
+    """``send_{p1→p2}(eval@p0(send(p1, t@p0))) ≡ send_{p0→p2}(t@p0)``.
+
+    Right-to-left: a transfer may stop at an intermediary; left-to-right:
+    the stop can be elided.  We enumerate both directions on every
+    :class:`Send`: adding each other peer as a one-hop relay, and
+    stripping existing relays.  The paper stresses the rule is *not*
+    always profitable left-to-right — the cost model decides.
+    """
+
+    name = "reroute(12)"
+
+    def __init__(self, max_relays: int = 1) -> None:
+        self.max_relays = max_relays
+
+    def apply(self, plan: Plan, system: AXMLSystem) -> List[Rewrite]:
+        rewrites: List[Rewrite] = []
+        for node, rebuild in subexpression_contexts(plan.expr):
+            if not isinstance(node, Send):
+                continue
+            dest_peer = _dest_peer(node.dest)
+            if node.via:
+                rewrites.append(
+                    Rewrite(
+                        Plan(rebuild(Send(node.dest, node.payload, ())), plan.site),
+                        self.name,
+                        "drop intermediary stops",
+                    )
+                )
+            if len(node.via) < self.max_relays:
+                for peer in self._peers(system):
+                    if peer in (plan.site, dest_peer) or peer in node.via:
+                        continue
+                    rewrites.append(
+                        Rewrite(
+                            Plan(
+                                rebuild(
+                                    Send(node.dest, node.payload, node.via + (peer,))
+                                ),
+                                plan.site,
+                            ),
+                            self.name,
+                            f"stop at {peer}",
+                        )
+                    )
+        return rewrites
+
+
+def _dest_peer(dest) -> Optional[str]:
+    if isinstance(dest, PeerDest):
+        return dest.peer
+    if isinstance(dest, DocDest):
+        return dest.peer
+    if isinstance(dest, NodesDest) and dest.nodes:
+        return dest.nodes[0].peer
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Rule (13): transfer reuse
+# ---------------------------------------------------------------------------
+
+class TransferReuse(RewriteRule):
+    """Materialize a multiply-transferred remote tree as a local document.
+
+    ``e1(e2(send_{p1→p}(t)), e3(send_{p1→p}(t)))`` becomes: first
+    materialize ``t`` as ``d@p``, then evaluate the expression with both
+    occurrences reading ``d@p``.  The :class:`Seq` makes the lost
+    parallelism explicit: the body waits for the materialization, which
+    "may be worth it if t is large" (paper's own caveat).
+    """
+
+    name = "transfer-reuse(13)"
+
+    _counter = 0
+
+    def apply(self, plan: Plan, system: AXMLSystem) -> List[Rewrite]:
+        occurrences: dict = {}
+        for node in walk(plan.expr):
+            if isinstance(node, DocExpr) and node.home != plan.site:
+                occurrences[node] = occurrences.get(node, 0) + 1
+        rewrites: List[Rewrite] = []
+        for doc_expr, count in occurrences.items():
+            if count < 2:
+                continue
+            TransferReuse._counter += 1
+            local_name = f"tmp-reuse-{TransferReuse._counter}"
+            local = DocExpr(local_name, plan.site)
+
+            def substitute(node: Expression) -> Optional[Expression]:
+                if node == doc_expr:
+                    return local
+                return None
+
+            body = transform(plan.expr, substitute)
+            materialize = EvalAt(
+                doc_expr.home,
+                Send(DocDest(local_name, plan.site), doc_expr),
+            )
+            rewrites.append(
+                Rewrite(
+                    Plan(Seq((materialize, body)), plan.site),
+                    self.name,
+                    f"materialize {doc_expr.describe()} as {local_name}@{plan.site}",
+                )
+            )
+        return rewrites
+
+
+# ---------------------------------------------------------------------------
+# Rule (14): whole-expression delegation
+# ---------------------------------------------------------------------------
+
+class DelegateExpression(RewriteRule):
+    """``eval@p(e) ≡ eval@p1(send(p, eval@p(e)))`` — move the coordinator.
+
+    Wraps the *top-level* expression in ``EvalAt(p1, ·)`` for each other
+    peer: the expression tree ships to p1 (mutant-query-plan style), p1
+    orchestrates, and the value returns to p.  Only applied at the top to
+    keep the search space linear; inner delegation emerges from rule (10).
+    """
+
+    name = "delegate-expression(14)"
+
+    def apply(self, plan: Plan, system: AXMLSystem) -> List[Rewrite]:
+        if isinstance(plan.expr, EvalAt):
+            return []  # already delegated; avoid towers of EvalAt
+        rewrites = []
+        for peer in self._peers(system):
+            if peer == plan.site:
+                continue
+            rewrites.append(
+                Rewrite(
+                    Plan(EvalAt(peer, plan.expr), plan.site),
+                    self.name,
+                    f"coordinate at {peer}",
+                )
+            )
+        return rewrites
+
+
+# ---------------------------------------------------------------------------
+# Rule (15): relocating service calls
+# ---------------------------------------------------------------------------
+
+class RelocateCall(RewriteRule):
+    """``eval@p(sc(...)) ≡ eval@p2(send_{p→p2}(sc(...)))``.
+
+    Sound for calls with an explicit forward list: responses go straight
+    to the targets, so "there is no need to ship results back".  The
+    natural winner is relocating to the *provider* — parameters then ship
+    once instead of twice.
+    """
+
+    name = "relocate-call(15)"
+
+    def apply(self, plan: Plan, system: AXMLSystem) -> List[Rewrite]:
+        rewrites: List[Rewrite] = []
+        for node, rebuild in subexpression_contexts(plan.expr):
+            if not isinstance(node, ServiceCallExpr) or not node.forwards:
+                continue
+            if any(not isinstance(p, TreeExpr) for p in node.params):
+                continue  # params must be shippable values
+            candidates = set(self._peers(system))
+            if node.provider != ANY:
+                candidates.add(node.provider)
+            candidates.discard(plan.site)
+            for peer in sorted(candidates):
+                relocated_params = tuple(
+                    TreeExpr(p.tree, peer) if isinstance(p, TreeExpr) and p.home == plan.site else p
+                    for p in node.params
+                )
+                # Relocation ships the whole sc tree (params included) to
+                # the new site; EvalAt's expression shipping models that.
+                relocated = ServiceCallExpr(
+                    node.provider, node.service, relocated_params, node.forwards
+                )
+                rewrites.append(
+                    Rewrite(
+                        Plan(rebuild(EvalAt(peer, relocated)), plan.site),
+                        self.name,
+                        f"evaluate sc at {peer}",
+                    )
+                )
+        return rewrites
+
+
+# ---------------------------------------------------------------------------
+# Rule (16): pushing queries over service calls
+# ---------------------------------------------------------------------------
+
+class PushQueryOverCall(RewriteRule):
+    """``q(sc(p1, s1, params)) ≡ eval@p1(q(q1(params)))`` with results
+    forwarded from p1 — compose the consumer query with the service's
+    implementing query at the provider.
+
+    Requires ``s1@p1`` declarative (its query ``q1`` is visible); that
+    visibility "enabl[ing] many optimizations" is exactly why the paper
+    singles declarative services out.
+    """
+
+    name = "push-query-over-call(16)"
+
+    def apply(self, plan: Plan, system: AXMLSystem) -> List[Rewrite]:
+        rewrites: List[Rewrite] = []
+        for node, rebuild in subexpression_contexts(plan.expr):
+            if not isinstance(node, QueryApply):
+                continue
+            if len(node.args) != 1 or not isinstance(node.args[0], ServiceCallExpr):
+                continue
+            if not isinstance(node.query, QueryRef):
+                continue
+            call = node.args[0]
+            if call.provider == ANY:
+                continue
+            provider = system.peer(call.provider)
+            if not provider.has_service(call.service):
+                continue
+            service = provider.service(call.service)
+            if not isinstance(service, DeclarativeService):
+                continue
+            q1_ref = QueryRef(service.query, call.provider)
+            inner_apply = QueryApply(q1_ref, call.params)
+            composed = QueryApply(node.query, (inner_apply,))
+            if call.forwards:
+                pushed: Expression = EvalAt(
+                    call.provider, Send(NodesDest(call.forwards), composed)
+                )
+            else:
+                pushed = EvalAt(call.provider, composed)
+            rewrites.append(
+                Rewrite(
+                    Plan(rebuild(pushed), plan.site),
+                    self.name,
+                    f"compose with {service.name}@{call.provider}",
+                )
+            )
+        return rewrites
+
+
+#: The rule set the optimizer uses by default (paper order).
+DEFAULT_RULES: Tuple[RewriteRule, ...] = (
+    QueryDelegation(),
+    PushSelection(),
+    Reroute(),
+    TransferReuse(),
+    DelegateExpression(),
+    RelocateCall(),
+    PushQueryOverCall(),
+)

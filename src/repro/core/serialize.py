@@ -1,0 +1,211 @@
+"""Expressions as XML trees (paper Section 3.1).
+
+"An expression can be viewed (serialized) as an XML tree, whose root is
+labeled with the expression constructor, and whose children are the
+expression parameters."  This serialization is what :class:`EvalAt` ships
+when delegating an expression to another peer, so expression size —
+``expression_size()`` — is a real cost the optimizer weighs.
+
+Round trip: ``parse_expression(to_xml(e)) == e`` for every expression not
+containing in-memory :class:`TreeExpr` literals with node identity (tree
+literals round-trip by content).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ExpressionError
+from ..xmlcore.model import Element, NodeId, element
+from ..xmlcore.parser import parse as parse_xml
+from ..xmlcore.serializer import serialize as serialize_xml
+from ..xquery import Query
+from .expressions import (
+    ANY,
+    DocDest,
+    DocExpr,
+    EvalAt,
+    Expression,
+    GenericDoc,
+    GenericService,
+    NodesDest,
+    PeerDest,
+    QueryApply,
+    QueryRef,
+    Send,
+    Seq,
+    ServiceCallExpr,
+    TreeExpr,
+)
+
+__all__ = ["to_xml", "from_xml", "expression_size", "expression_to_text", "expression_from_text"]
+
+
+def to_xml(expr: Expression) -> Element:
+    """Serialize an expression into its XML-tree form."""
+    if isinstance(expr, TreeExpr):
+        node = element("x-tree", attrs={"home": expr.home})
+        node.append(expr.tree.copy())
+        return node
+    if isinstance(expr, DocExpr):
+        return element("x-doc", attrs={"name": expr.name, "home": expr.home})
+    if isinstance(expr, GenericDoc):
+        return element("x-doc", attrs={"name": expr.name, "home": ANY})
+    if isinstance(expr, QueryRef):
+        node = element(
+            "x-query",
+            expr.query.source,
+            attrs={
+                "home": expr.home,
+                "params": " ".join(expr.query.params),
+                **({"name": expr.query.name} if expr.query.name else {}),
+            },
+        )
+        return node
+    if isinstance(expr, GenericService):
+        return element("x-service", attrs={"name": expr.name, "home": ANY})
+    if isinstance(expr, QueryApply):
+        node = element("x-apply")
+        node.append(to_xml(expr.query))
+        args = element("x-args")
+        for arg in expr.args:
+            args.append(to_xml(arg))
+        node.append(args)
+        return node
+    if isinstance(expr, ServiceCallExpr):
+        node = element(
+            "x-sc", attrs={"provider": expr.provider, "service": expr.service}
+        )
+        params = element("x-params")
+        for param in expr.params:
+            params.append(to_xml(param))
+        node.append(params)
+        for target in expr.forwards:
+            node.append(element("x-forw", str(target)))
+        return node
+    if isinstance(expr, Send):
+        node = element("x-send")
+        node.append(_dest_to_xml(expr.dest))
+        if expr.via:
+            node.attrs["via"] = " ".join(expr.via)
+        node.append(to_xml(expr.payload))
+        return node
+    if isinstance(expr, EvalAt):
+        node = element("x-eval", attrs={"peer": expr.peer})
+        node.append(to_xml(expr.expr))
+        return node
+    if isinstance(expr, Seq):
+        node = element("x-seq")
+        for step in expr.steps:
+            node.append(to_xml(step))
+        return node
+    raise ExpressionError(f"cannot serialize {type(expr).__name__}")
+
+
+def _dest_to_xml(dest) -> Element:
+    if isinstance(dest, PeerDest):
+        return element("x-dest", attrs={"kind": "peer", "peer": dest.peer})
+    if isinstance(dest, NodesDest):
+        node = element("x-dest", attrs={"kind": "nodes"})
+        for target in dest.nodes:
+            node.append(element("x-node", str(target)))
+        return node
+    if isinstance(dest, DocDest):
+        return element(
+            "x-dest", attrs={"kind": "doc", "name": dest.name, "peer": dest.peer}
+        )
+    raise ExpressionError(f"cannot serialize destination {type(dest).__name__}")
+
+
+def from_xml(node: Element) -> Expression:
+    """Reconstruct an expression from its XML form."""
+    tag = node.tag
+    if tag == "x-tree":
+        inner = node.element_children
+        if len(inner) != 1:
+            raise ExpressionError("x-tree must wrap exactly one tree")
+        return TreeExpr(inner[0].copy(), node.attrs["home"])
+    if tag == "x-doc":
+        home = node.attrs["home"]
+        if home == ANY:
+            return GenericDoc(node.attrs["name"])
+        return DocExpr(node.attrs["name"], home)
+    if tag == "x-query":
+        params = tuple(p for p in node.attrs.get("params", "").split() if p)
+        query = Query(
+            node.string_value(), params=params, name=node.attrs.get("name")
+        )
+        return QueryRef(query, node.attrs["home"])
+    if tag == "x-service":
+        return GenericService(node.attrs["name"])
+    if tag == "x-apply":
+        children = node.element_children
+        query = from_xml(children[0])
+        if not isinstance(query, (QueryRef, GenericService)):
+            raise ExpressionError("x-apply head must be a query or service ref")
+        args_node = node.child_by_tag("x-args")
+        args = tuple(from_xml(c) for c in args_node.element_children) if args_node else ()
+        return QueryApply(query, args)
+    if tag == "x-sc":
+        params_node = node.child_by_tag("x-params")
+        params = (
+            tuple(from_xml(c) for c in params_node.element_children)
+            if params_node
+            else ()
+        )
+        forwards = tuple(
+            NodeId.parse(f.string_value().strip())
+            for f in node.children_by_tag("x-forw")
+        )
+        return ServiceCallExpr(
+            node.attrs["provider"], node.attrs["service"], params, forwards
+        )
+    if tag == "x-send":
+        dest_node = node.child_by_tag("x-dest")
+        if dest_node is None:
+            raise ExpressionError("x-send missing destination")
+        payload_nodes = [
+            c for c in node.element_children if c.tag != "x-dest"
+        ]
+        if len(payload_nodes) != 1:
+            raise ExpressionError("x-send must have exactly one payload")
+        via = tuple(node.attrs.get("via", "").split())
+        return Send(_dest_from_xml(dest_node), from_xml(payload_nodes[0]), via)
+    if tag == "x-eval":
+        inner = node.element_children
+        if len(inner) != 1:
+            raise ExpressionError("x-eval must wrap exactly one expression")
+        return EvalAt(node.attrs["peer"], from_xml(inner[0]))
+    if tag == "x-seq":
+        return Seq(tuple(from_xml(c) for c in node.element_children))
+    raise ExpressionError(f"unknown expression element <{tag}>")
+
+
+def _dest_from_xml(node: Element):
+    kind = node.attrs.get("kind")
+    if kind == "peer":
+        return PeerDest(node.attrs["peer"])
+    if kind == "nodes":
+        return NodesDest(
+            tuple(
+                NodeId.parse(c.string_value().strip())
+                for c in node.children_by_tag("x-node")
+            )
+        )
+    if kind == "doc":
+        return DocDest(node.attrs["name"], node.attrs["peer"])
+    raise ExpressionError(f"unknown destination kind {kind!r}")
+
+
+def expression_to_text(expr: Expression) -> str:
+    """Wire form of an expression (what :class:`EvalAt` actually ships)."""
+    return serialize_xml(to_xml(expr))
+
+
+def expression_from_text(text: str) -> Expression:
+    return from_xml(parse_xml(text))
+
+
+def expression_size(expr: Expression) -> int:
+    """Bytes of the serialized expression — the code-shipping cost."""
+    return len(expression_to_text(expr).encode("utf-8"))

@@ -1,0 +1,137 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises errors derived from :class:`ReproError`, so callers
+can catch one base class at API boundaries.  Parsing layers raise the more
+specific ``*SyntaxError`` subclasses carrying a position; execution layers
+raise ``*EvaluationError`` subclasses carrying the offending construct.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class XMLError(ReproError):
+    """Base class for XML data-model and parsing errors."""
+
+
+class XMLSyntaxError(XMLError):
+    """Raised when XML text cannot be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the first offending character.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class SchemaError(XMLError):
+    """Raised for malformed schema definitions."""
+
+
+class ValidationError(XMLError):
+    """Raised when a tree does not conform to a schema type."""
+
+
+class XQueryError(ReproError):
+    """Base class for XQuery subsystem errors."""
+
+
+class XQuerySyntaxError(XQueryError):
+    """Raised when an XQuery expression cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class XQueryTypeError(XQueryError):
+    """Raised for static or dynamic type errors (e.g. bad atomization)."""
+
+
+class XQueryEvaluationError(XQueryError):
+    """Raised when evaluation fails (unknown variable, function, etc.)."""
+
+
+class DecompositionError(XQueryError):
+    """Raised when a query cannot be split as requested (rule 11)."""
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network errors."""
+
+
+class NoRouteError(NetworkError):
+    """Raised when two peers have no connecting path in the topology."""
+
+
+class PeerError(ReproError):
+    """Base class for peer / system-state errors."""
+
+
+class UnknownPeerError(PeerError):
+    """Raised when a peer identifier is not part of the system."""
+
+
+class UnknownDocumentError(PeerError):
+    """Raised when a document name is not present on the addressed peer."""
+
+
+class UnknownServiceError(PeerError):
+    """Raised when a service name is not provided by the addressed peer."""
+
+
+class DuplicateNameError(PeerError):
+    """Raised when installing a document/service under a name already used.
+
+    The paper requires that no two documents agree on ``(d, p)``; this error
+    enforces that constraint (and its analogue for services).
+    """
+
+
+class GenericResolutionError(PeerError):
+    """Raised when a generic name (``d@any``) has no member to pick."""
+
+
+class AXMLError(ReproError):
+    """Base class for AXML-layer errors (sc nodes, activation)."""
+
+
+class ServiceCallError(AXMLError):
+    """Raised for malformed ``sc`` nodes or activation failures."""
+
+
+class AlgebraError(ReproError):
+    """Base class for expression-algebra errors."""
+
+
+class ExpressionError(AlgebraError):
+    """Raised for malformed expressions of the language E."""
+
+
+class EvaluationUndefinedError(AlgebraError):
+    """Raised when ``eval@p(e)`` is undefined per the paper.
+
+    Example: ``send_{p2->p1}(t@p0)`` is undefined when ``p2 != p0`` because a
+    peer cannot send data it does not host (Section 3.2).
+    """
+
+
+class RewriteError(AlgebraError):
+    """Raised when an equivalence rule is applied to a non-matching tree."""
+
+
+class OptimizerError(AlgebraError):
+    """Raised when plan search fails (no plan, budget exhausted, etc.)."""

@@ -1,0 +1,243 @@
+"""Discrete-event network simulator.
+
+The simulator models what the paper's algebra observes about
+communication: *when* a shipped tree becomes available at its destination
+and *how many bytes* crossed which link.  Links have latency (seconds) and
+bandwidth (bytes/second) and serialize transfers FIFO — two large
+transfers on one link queue behind each other, which is exactly the
+effect rule (13) (transfer reuse) trades against parallelism.
+
+Time is virtual.  A transfer scheduled at ``ready_at`` on a link free at
+``busy_until`` starts at ``max(ready_at, busy_until)``, occupies the link
+for ``size / bandwidth``, and arrives one ``latency`` after it starts.
+Multi-hop routes (no direct link) are store-and-forward over the
+lowest-cost path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import NetworkError, NoRouteError, UnknownPeerError
+from .message import Message, MessageKind
+
+__all__ = ["Link", "LinkStats", "NetworkStats", "Network"]
+
+
+@dataclass
+class LinkStats:
+    """Per-link accounting: messages, bytes, busy time."""
+
+    messages: int = 0
+    bytes: int = 0
+    busy_time: float = 0.0
+
+    def record(self, size: int, duration: float) -> None:
+        self.messages += 1
+        self.bytes += size
+        self.busy_time += duration
+
+
+@dataclass
+class Link:
+    """A directed link ``src -> dst``.
+
+    ``latency`` in seconds, ``bandwidth`` in bytes/second.  ``busy_until``
+    is simulator state: the first instant the link can accept the next
+    transfer.
+    """
+
+    src: str
+    dst: str
+    latency: float = 0.01
+    bandwidth: float = 1_000_000.0
+    busy_until: float = 0.0
+    stats: LinkStats = field(default_factory=LinkStats)
+
+    def transfer_cost(self, size: int) -> float:
+        """Time the link is occupied by a transfer of ``size`` bytes."""
+        return size / self.bandwidth
+
+    def schedule(self, size: int, ready_at: float) -> Tuple[float, float]:
+        """Occupy the link; returns (start_time, arrival_time)."""
+        start = max(ready_at, self.busy_until)
+        occupancy = self.transfer_cost(size)
+        self.busy_until = start + occupancy
+        arrival = start + occupancy + self.latency
+        self.stats.record(size, occupancy)
+        return start, arrival
+
+
+@dataclass
+class NetworkStats:
+    """Whole-network accounting, also broken down by message kind."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, message: Message) -> None:
+        self.messages += 1
+        self.bytes += message.size
+        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+        self.bytes_by_kind[message.kind] = (
+            self.bytes_by_kind.get(message.kind, 0) + message.size
+        )
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"messages": self.messages, "bytes": self.bytes}
+
+
+class Network:
+    """The peer-to-peer transport fabric.
+
+    Built from a set of peers and directed links (use
+    :mod:`repro.net.topology` helpers).  The two central operations:
+
+    * :meth:`deliver` — ship a :class:`Message`, returning its arrival
+      time, charging link occupancy and statistics;
+    * :meth:`reset_clock` — clear busy state between benchmark runs while
+      keeping the topology.
+
+    The paper makes no assumption about network structure (Section 2);
+    accordingly, any digraph is accepted and routing falls back to the
+    cheapest multi-hop path when no direct link exists.
+    """
+
+    def __init__(self) -> None:
+        self._peers: Dict[str, None] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self.stats = NetworkStats()
+        self.log: List[Tuple[float, Message]] = []
+        self.keep_log = False
+
+    # -- construction ---------------------------------------------------------
+    def add_peer(self, peer_id: str) -> None:
+        self._peers.setdefault(peer_id, None)
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        latency: float = 0.01,
+        bandwidth: float = 1_000_000.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Add a link (and its reverse when ``symmetric``)."""
+        self.add_peer(src)
+        self.add_peer(dst)
+        self._links[(src, dst)] = Link(src, dst, latency, bandwidth)
+        if symmetric:
+            self._links[(dst, src)] = Link(dst, src, latency, bandwidth)
+
+    @property
+    def peers(self) -> List[str]:
+        return sorted(self._peers)
+
+    def link(self, src: str, dst: str) -> Optional[Link]:
+        return self._links.get((src, dst))
+
+    def links(self) -> Iterable[Link]:
+        return self._links.values()
+
+    # -- routing ----------------------------------------------------------------
+    def _neighbors(self, peer: str) -> List[str]:
+        return [dst for (src, dst) in self._links if src == peer]
+
+    def route(self, src: str, dst: str) -> List[Link]:
+        """Links along the cheapest path (latency + a nominal size term).
+
+        Uses Dijkstra over per-link cost ``latency + 1kB/bandwidth`` so
+        that both slow and laggy links are penalized.  The direct link, if
+        present, is considered like any other path (it usually wins).
+        """
+        if src not in self._peers:
+            raise UnknownPeerError(f"unknown peer {src!r}")
+        if dst not in self._peers:
+            raise UnknownPeerError(f"unknown peer {dst!r}")
+        if src == dst:
+            return []
+        import heapq
+
+        nominal = 1024.0
+        dist: Dict[str, float] = {src: 0.0}
+        prev: Dict[str, str] = {}
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        visited = set()
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst:
+                break
+            for neighbor in self._neighbors(node):
+                link = self._links[(node, neighbor)]
+                step = link.latency + nominal / link.bandwidth
+                candidate = cost + step
+                if candidate < dist.get(neighbor, math.inf):
+                    dist[neighbor] = candidate
+                    prev[neighbor] = node
+                    heapq.heappush(heap, (candidate, neighbor))
+        if dst not in dist:
+            raise NoRouteError(f"no route from {src!r} to {dst!r}")
+        path: List[str] = [dst]
+        while path[-1] != src:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return [
+            self._links[(a, b)] for a, b in zip(path, path[1:])
+        ]
+
+    # -- transfer -----------------------------------------------------------------
+    def deliver(self, message: Message, ready_at: float = 0.0) -> float:
+        """Ship ``message``; returns arrival time at the destination.
+
+        Multi-hop routes are store-and-forward: the message fully arrives
+        at each hop before the next link starts.  Loopback (src == dst)
+        is free and instantaneous — local "transfers" cost nothing, as in
+        the paper's model where only inter-peer communication matters.
+        """
+        if message.src == message.dst:
+            return ready_at
+        links = self.route(message.src, message.dst)
+        clock = ready_at
+        for link in links:
+            _, clock = link.schedule(message.size, clock)
+        self.stats.record(message)
+        if self.keep_log:
+            self.log.append((clock, message))
+        return clock
+
+    def send_tree(
+        self,
+        src: str,
+        dst: str,
+        payload: str,
+        kind: str = MessageKind.DATA,
+        ready_at: float = 0.0,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[Message, float]:
+        """Convenience wrapper building the :class:`Message` first."""
+        message = Message(src, dst, kind, payload, headers or {})
+        arrival = self.deliver(message, ready_at)
+        return message, arrival
+
+    # -- lifecycle ----------------------------------------------------------------
+    def reset_clock(self) -> None:
+        """Clear busy windows (new virtual-time experiment, same fabric)."""
+        for link in self._links.values():
+            link.busy_until = 0.0
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()
+        self.log.clear()
+        for link in self._links.values():
+            link.stats = LinkStats()
+
+    def reset(self) -> None:
+        self.reset_clock()
+        self.reset_stats()

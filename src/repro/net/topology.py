@@ -1,0 +1,170 @@
+"""Topology builders for the simulated peer network.
+
+The paper explicitly makes no assumption about network structure
+(Section 2: "We make no assumption about the structure of the peer
+network, e.g. whether a DHT-style index is present or not"), so the
+benchmarks probe several shapes.  Every builder returns a fresh
+:class:`~repro.net.network.Network` whose peers are named from the given
+list.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NetworkError
+from .network import Network
+
+__all__ = [
+    "full_mesh",
+    "star",
+    "ring",
+    "line",
+    "random_graph",
+    "two_tier",
+    "uniform",
+]
+
+DEFAULT_LATENCY = 0.01       # 10 ms
+DEFAULT_BANDWIDTH = 1_000_000.0  # 1 MB/s
+
+
+def uniform(
+    peers: Sequence[str],
+    latency: float = DEFAULT_LATENCY,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+) -> Network:
+    """Alias of :func:`full_mesh` with uniform link quality."""
+    return full_mesh(peers, latency, bandwidth)
+
+
+def full_mesh(
+    peers: Sequence[str],
+    latency: float = DEFAULT_LATENCY,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+) -> Network:
+    """Every pair of peers directly connected with identical links."""
+    network = Network()
+    for peer in peers:
+        network.add_peer(peer)
+    for i, a in enumerate(peers):
+        for b in peers[i + 1:]:
+            network.add_link(a, b, latency, bandwidth)
+    return network
+
+
+def star(
+    peers: Sequence[str],
+    hub: Optional[str] = None,
+    latency: float = DEFAULT_LATENCY,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+) -> Network:
+    """All peers connected to a hub (first peer by default).
+
+    Non-hub pairs communicate through the hub via routing — the classic
+    mediator configuration of the related work the paper cites.
+    """
+    if not peers:
+        raise NetworkError("star() needs at least one peer")
+    hub = hub or peers[0]
+    network = Network()
+    for peer in peers:
+        network.add_peer(peer)
+    for peer in peers:
+        if peer != hub:
+            network.add_link(hub, peer, latency, bandwidth)
+    return network
+
+
+def ring(
+    peers: Sequence[str],
+    latency: float = DEFAULT_LATENCY,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+) -> Network:
+    """Peers in a cycle; messages hop around the shorter arc."""
+    if len(peers) < 2:
+        raise NetworkError("ring() needs at least two peers")
+    network = Network()
+    for peer in peers:
+        network.add_peer(peer)
+    for index, peer in enumerate(peers):
+        network.add_link(peer, peers[(index + 1) % len(peers)], latency, bandwidth)
+    return network
+
+
+def line(
+    peers: Sequence[str],
+    latency: float = DEFAULT_LATENCY,
+    bandwidth: float = DEFAULT_BANDWIDTH,
+) -> Network:
+    """Peers on a path; the worst case for end-to-end hops."""
+    if len(peers) < 2:
+        raise NetworkError("line() needs at least two peers")
+    network = Network()
+    for peer in peers:
+        network.add_peer(peer)
+    for a, b in zip(peers, peers[1:]):
+        network.add_link(a, b, latency, bandwidth)
+    return network
+
+
+def random_graph(
+    peers: Sequence[str],
+    edge_probability: float = 0.4,
+    latency_range: Tuple[float, float] = (0.005, 0.05),
+    bandwidth_range: Tuple[float, float] = (100_000.0, 10_000_000.0),
+    seed: int = 0,
+) -> Network:
+    """Erdős–Rényi-style random connectivity with heterogeneous links.
+
+    A spanning line is added first so the network is always connected;
+    the RNG is seeded for reproducible benchmark runs.
+    """
+    rng = random.Random(seed)
+    network = Network()
+    for peer in peers:
+        network.add_peer(peer)
+    for a, b in zip(peers, peers[1:]):
+        network.add_link(
+            a, b,
+            rng.uniform(*latency_range),
+            rng.uniform(*bandwidth_range),
+        )
+    for i, a in enumerate(peers):
+        for b in peers[i + 2:]:
+            if rng.random() < edge_probability:
+                network.add_link(
+                    a, b,
+                    rng.uniform(*latency_range),
+                    rng.uniform(*bandwidth_range),
+                )
+    return network
+
+
+def two_tier(
+    core: Sequence[str],
+    edge: Sequence[str],
+    core_latency: float = 0.002,
+    core_bandwidth: float = 50_000_000.0,
+    edge_latency: float = 0.03,
+    edge_bandwidth: float = 500_000.0,
+) -> Network:
+    """Fast fully-meshed core peers; slow edge peers each homed on one core.
+
+    Models the eDos mirror scenario: well-provisioned mirrors plus
+    consumer-grade clients.  Edge peer ``i`` attaches to core
+    ``i % len(core)``.
+    """
+    if not core:
+        raise NetworkError("two_tier() needs at least one core peer")
+    network = Network()
+    for peer in list(core) + list(edge):
+        network.add_peer(peer)
+    for i, a in enumerate(core):
+        for b in core[i + 1:]:
+            network.add_link(a, b, core_latency, core_bandwidth)
+    for index, peer in enumerate(edge):
+        home = core[index % len(core)]
+        network.add_link(home, peer, edge_latency, edge_bandwidth)
+    return network

@@ -1,0 +1,43 @@
+"""Peers, services, generic-name registry, and the system state Σ.
+
+>>> from repro.peers import AXMLSystem
+>>> from repro.xmlcore import parse
+>>> system = AXMLSystem.with_peers(["p0", "p1"])
+>>> _ = system.peer("p0").install_document("d", parse("<a/>"))
+>>> svc = system.peer("p1").install_query_service(
+...     "echo", "declare variable $x external; <out>{$x}</out>", params=("x",))
+>>> svc.arity
+1
+"""
+
+from .peer import Peer
+from .registry import (
+    ANY_PEER,
+    FirstPolicy,
+    GenericMember,
+    GenericRegistry,
+    LeastLoadedPolicy,
+    NearestPolicy,
+    PickPolicy,
+    POLICIES,
+    RandomPolicy,
+)
+from .service import DeclarativeService, NativeService, Service
+from .system import AXMLSystem
+
+__all__ = [
+    "Peer",
+    "AXMLSystem",
+    "Service",
+    "DeclarativeService",
+    "NativeService",
+    "GenericRegistry",
+    "GenericMember",
+    "PickPolicy",
+    "FirstPolicy",
+    "RandomPolicy",
+    "NearestPolicy",
+    "LeastLoadedPolicy",
+    "POLICIES",
+    "ANY_PEER",
+]

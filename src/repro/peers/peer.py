@@ -1,0 +1,175 @@
+"""Peers: the contexts of computation hosting documents and services.
+
+A peer (Section 2 of the paper) is identified by ``p ∈ P`` and hosts
+
+* *documents* — named XML trees, ``d@p``, names unique per peer;
+* *services* — named operations, ``s@p``.
+
+Peers also model compute capacity: evaluating queries costs virtual time
+proportional to the work units divided by ``compute_speed``, and a peer
+processes one thing at a time (``busy_until``), so delegating work to an
+idle fast peer is a *measurable* win — which is what rules (10)/(14) are
+about.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import (
+    DuplicateNameError,
+    UnknownDocumentError,
+    UnknownServiceError,
+)
+from ..xmlcore.model import Element, NodeId, NodeIdAllocator, iter_elements, tree_size
+from ..xquery import Query
+from .service import DeclarativeService, Service
+
+__all__ = ["Peer"]
+
+
+class Peer:
+    """One peer: documents, services, id allocation, compute accounting."""
+
+    def __init__(self, peer_id: str, compute_speed: float = 100_000.0) -> None:
+        self.peer_id = peer_id
+        self.documents: Dict[str, Element] = {}
+        self.services: Dict[str, Service] = {}
+        self.allocator = NodeIdAllocator(peer_id)
+        #: Work units (tree nodes) processed per second of virtual time.
+        self.compute_speed = compute_speed
+        #: Virtual instant until which the peer's CPU is occupied.
+        self.busy_until = 0.0
+        #: Total work units executed (for benchmark reporting).
+        self.work_done = 0
+
+    # -- documents ---------------------------------------------------------------
+    def install_document(
+        self, name: str, tree: Element, replace: bool = False
+    ) -> Element:
+        """Install ``tree`` under ``name``; assigns fresh node ids.
+
+        The paper forbids two documents agreeing on ``(d, p)``; installing
+        an existing name raises unless ``replace`` is set (used by stream
+        re-materialization).
+        """
+        if name in self.documents and not replace:
+            raise DuplicateNameError(
+                f"document {name!r} already exists on peer {self.peer_id!r}"
+            )
+        self.allocator.assign(tree)
+        self.documents[name] = tree
+        return tree
+
+    def document(self, name: str) -> Element:
+        try:
+            return self.documents[name]
+        except KeyError:
+            raise UnknownDocumentError(
+                f"no document {name!r} on peer {self.peer_id!r}"
+            ) from None
+
+    def has_document(self, name: str) -> bool:
+        return name in self.documents
+
+    def drop_document(self, name: str) -> None:
+        self.documents.pop(name, None)
+
+    def fresh_document_name(self, prefix: str = "tmp") -> str:
+        index = 0
+        while f"{prefix}-{index}" in self.documents:
+            index += 1
+        return f"{prefix}-{index}"
+
+    def doc_resolver(self, name: str) -> Element:
+        """Resolver handed to queries: ``doc(n)`` reads this peer's data."""
+        return self.document(name)
+
+    def find_node(self, node_id: NodeId) -> Optional[Element]:
+        """Locate a node by id across all hosted documents."""
+        if node_id.peer != self.peer_id:
+            return None
+        for tree in self.documents.values():
+            for node in iter_elements(tree):
+                if node.node_id == node_id:
+                    return node
+        return None
+
+    # -- services -----------------------------------------------------------------
+    def install_service(self, service: Service, replace: bool = False) -> Service:
+        if service.name in self.services and not replace:
+            raise DuplicateNameError(
+                f"service {service.name!r} already exists on peer {self.peer_id!r}"
+            )
+        service.bind(self)
+        self.services[service.name] = service
+        return service
+
+    def install_query_service(
+        self, name: str, source: str, params: Sequence[str] = (), replace: bool = False
+    ) -> DeclarativeService:
+        """Shorthand: wrap XQuery source as a declarative service."""
+        query = Query(source, params=params, name=name)
+        service = DeclarativeService(name, query)
+        self.install_service(service, replace=replace)
+        return service
+
+    def service(self, name: str) -> Service:
+        try:
+            return self.services[name]
+        except KeyError:
+            raise UnknownServiceError(
+                f"no service {name!r} on peer {self.peer_id!r}"
+            ) from None
+
+    def has_service(self, name: str) -> bool:
+        return name in self.services
+
+    def fresh_service_name(self, prefix: str = "svc") -> str:
+        index = 0
+        while f"{prefix}-{index}" in self.services:
+            index += 1
+        return f"{prefix}-{index}"
+
+    # -- compute accounting ----------------------------------------------------------
+    def charge(self, work_units: int, ready_at: float = 0.0) -> float:
+        """Run ``work_units`` of computation; returns completion time.
+
+        The CPU is a serial resource: work starts at
+        ``max(ready_at, busy_until)``.
+        """
+        start = max(ready_at, self.busy_until)
+        duration = work_units / self.compute_speed
+        self.busy_until = start + duration
+        self.work_done += work_units
+        return self.busy_until
+
+    def evaluate(
+        self,
+        query: Query,
+        params: Sequence[List] = (),
+        ready_at: float = 0.0,
+    ) -> tuple:
+        """Evaluate ``query`` locally; returns (result_items, done_time).
+
+        ``doc()`` resolves against this peer.  Work is estimated as the
+        size of all inputs plus referenced documents.
+        """
+        bound = query.bind_resolver(self.doc_resolver)
+        result = bound.run(*params)
+        work = 1
+        for param in params:
+            for item in param if isinstance(param, list) else [param]:
+                if isinstance(item, Element):
+                    work += tree_size(item)
+        done = self.charge(work, ready_at)
+        return result, done
+
+    def reset_clock(self) -> None:
+        self.busy_until = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Peer({self.peer_id!r}, docs={len(self.documents)}, "
+            f"services={len(self.services)})"
+        )

@@ -1,0 +1,161 @@
+"""The AXML system state Σ: all documents and services on all peers.
+
+Section 3.3 defines Σ as "all documents and services on p1, ..., pn" and
+expression equivalence as equality of post-states over *any* Σ.  This
+module provides:
+
+* :class:`AXMLSystem` — peers + network + generic registry, with
+  convenience construction;
+* :meth:`AXMLSystem.snapshot` — a canonical, comparable image of Σ
+  (document canonical forms per peer plus service inventories), used by
+  the rewrite verifier (:mod:`repro.core.verify`) to check
+  ``eval(e)(Σ) = eval(e')(Σ)``;
+* :meth:`AXMLSystem.clone` — a deep copy so both sides of an equivalence
+  can be evaluated from the same starting state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import UnknownPeerError
+from ..net.network import Network
+from ..net import topology as topo
+from ..xmlcore.canon import canonical_form
+from ..xmlcore.model import Element
+from ..xquery import Query
+from .peer import Peer
+from .registry import GenericRegistry
+from .service import DeclarativeService, NativeService, Service
+
+__all__ = ["AXMLSystem"]
+
+
+class AXMLSystem:
+    """A set of peers, the fabric connecting them, and the shared registry."""
+
+    def __init__(self, network: Optional[Network] = None) -> None:
+        self.network = network or Network()
+        self.peers: Dict[str, Peer] = {}
+        self.registry = GenericRegistry()
+        #: Virtual time at which the whole system became quiescent after
+        #: the last evaluation (set by the expression evaluator).
+        self.clock = 0.0
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def with_peers(
+        cls,
+        peer_ids: Sequence[str],
+        topology: str = "full_mesh",
+        **topology_kwargs,
+    ) -> "AXMLSystem":
+        """Build a system with the named peers on a standard topology."""
+        builder = getattr(topo, topology, None)
+        if builder is None:
+            raise ValueError(f"unknown topology {topology!r}")
+        system = cls(builder(list(peer_ids), **topology_kwargs))
+        for peer_id in peer_ids:
+            system.add_peer(peer_id)
+        return system
+
+    def add_peer(self, peer_id: str, compute_speed: float = 100_000.0) -> Peer:
+        if peer_id in self.peers:
+            return self.peers[peer_id]
+        peer = Peer(peer_id, compute_speed)
+        self.peers[peer_id] = peer
+        self.network.add_peer(peer_id)
+        return peer
+
+    def peer(self, peer_id: str) -> Peer:
+        try:
+            return self.peers[peer_id]
+        except KeyError:
+            raise UnknownPeerError(f"unknown peer {peer_id!r}") from None
+
+    # -- state Σ -------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A canonical image of Σ for equality comparison.
+
+        Captures, per peer: every document's canonical form (unordered,
+        id-free — matching the paper's tree model) and the service
+        inventory (name, declarative source when visible).  Two systems
+        with equal snapshots are indistinguishable to further queries.
+        """
+        image: Dict[str, object] = {}
+        for peer_id in sorted(self.peers):
+            peer = self.peers[peer_id]
+            docs = {
+                name: canonical_form(tree)
+                for name, tree in sorted(peer.documents.items())
+            }
+            services = {}
+            for name, service in sorted(peer.services.items()):
+                if isinstance(service, DeclarativeService):
+                    services[name] = ("declarative", service.query.source)
+                else:
+                    services[name] = (type(service).__name__,)
+            image[peer_id] = (tuple(sorted(docs.items())), tuple(sorted(services.items())))
+        return image
+
+    def clone(self) -> "AXMLSystem":
+        """Deep-copy Σ onto a fresh network with identical topology.
+
+        Link qualities are copied; statistics and busy state start clean,
+        so both sides of an equivalence check begin from the same ground.
+        """
+        twin_network = Network()
+        for link in self.network.links():
+            twin_network.add_link(
+                link.src, link.dst, link.latency, link.bandwidth, symmetric=False
+            )
+        for peer_id in self.network.peers:
+            twin_network.add_peer(peer_id)
+        twin = AXMLSystem(twin_network)
+        for peer_id, peer in self.peers.items():
+            twin_peer = twin.add_peer(peer_id, peer.compute_speed)
+            for name, tree in peer.documents.items():
+                twin_peer.install_document(name, tree.copy())
+            for name, service in peer.services.items():
+                twin_peer.install_service(_clone_service(service))
+        for generic, members in self.registry._documents.items():
+            for member in members:
+                twin.registry.register_document(generic, member.name, member.peer)
+        for generic, members in self.registry._services.items():
+            for member in members:
+                twin.registry.register_service(generic, member.name, member.peer)
+        return twin
+
+    # -- lifecycle -----------------------------------------------------------------
+    def reset_clocks(self) -> None:
+        """Zero all virtual-time state (new measurement, same Σ)."""
+        self.clock = 0.0
+        self.network.reset_clock()
+        for peer in self.peers.values():
+            peer.reset_clock()
+
+    def reset_stats(self) -> None:
+        self.network.reset_stats()
+
+    def __repr__(self) -> str:
+        return f"AXMLSystem(peers={sorted(self.peers)})"
+
+
+def _clone_service(service: Service) -> Service:
+    if isinstance(service, DeclarativeService):
+        clone = DeclarativeService(
+            service.name,
+            Query(service.query.source, service.query.params, service.query.name),
+            service.signature,
+            service.continuous,
+        )
+        return clone
+    if isinstance(service, NativeService):
+        return NativeService(
+            service.name,
+            service.impl,
+            service.signature,
+            service.continuous,
+            service.cost_units,
+        )
+    raise TypeError(f"cannot clone service of type {type(service).__name__}")

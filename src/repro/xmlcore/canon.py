@@ -1,0 +1,89 @@
+"""Canonical forms and unordered-tree equivalence.
+
+Section 2.1 of the paper models XML trees as *unordered*; Section 2.3
+defines document equivalence (≡) as equality of the trees' eventual
+fixpoints under service-call activation.  Structural equivalence of
+fully-materialized trees — what this module computes — is the decidable
+core used everywhere in the reproduction:
+
+* rewrite-rule verification compares post-state documents with
+  :func:`equivalent`;
+* the generic-document registry groups replicas by :func:`canonical_form`;
+* tests assert parser/serializer round trips modulo child order.
+
+The canonical form of a tree is a nested tuple in which children are
+sorted by their own canonical forms, so two trees are unordered-equal iff
+their canonical forms compare equal.  Node identifiers are excluded: two
+replicas of the same content on different peers are equivalent even though
+their nodes carry different ids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple, Union
+
+from .model import Element, Node, Text
+
+__all__ = ["canonical_form", "canonical_hash", "equivalent", "ordered_equal"]
+
+CanonForm = Union[Tuple, str]
+
+
+def canonical_form(node: Node, strip_whitespace: bool = True) -> CanonForm:
+    """Nested-tuple canonical form; children sorted, ids ignored.
+
+    ``strip_whitespace`` drops whitespace-only text nodes and trims others,
+    matching the data-centric view the paper takes of XML (indentation is
+    not content).
+    """
+    if isinstance(node, Text):
+        value = node.value.strip() if strip_whitespace else node.value
+        return ("#text", value)
+    assert isinstance(node, Element)
+    # Normalize adjacent text siblings into one run first: the XDM has no
+    # adjacent text nodes, and serialization merges them, so canonical
+    # forms must too (a parse/serialize round trip would otherwise change
+    # the form).
+    merged: list = []
+    for child in node.children:
+        if isinstance(child, Text) and merged and isinstance(merged[-1], Text):
+            merged[-1] = Text(merged[-1].value + child.value)
+        else:
+            merged.append(child)
+    child_forms = []
+    for child in merged:
+        if strip_whitespace and isinstance(child, Text) and not child.value.strip():
+            continue
+        child_forms.append(canonical_form(child, strip_whitespace))
+    child_forms.sort(key=repr)
+    attr_items = tuple(sorted(node.attrs.items()))
+    return (node.tag, attr_items, tuple(child_forms))
+
+
+def canonical_hash(node: Node, strip_whitespace: bool = True) -> str:
+    """Stable hex digest of the canonical form (for registries, caches)."""
+    digest = hashlib.sha256(repr(canonical_form(node, strip_whitespace)).encode())
+    return digest.hexdigest()
+
+
+def equivalent(a: Node, b: Node, strip_whitespace: bool = True) -> bool:
+    """Unordered structural equivalence (the decidable core of ≡)."""
+    return canonical_form(a, strip_whitespace) == canonical_form(b, strip_whitespace)
+
+
+def ordered_equal(a: Node, b: Node) -> bool:
+    """Strict ordered equality including child order (ids still ignored).
+
+    Used where document order matters, e.g. checking XQuery results.
+    """
+    if isinstance(a, Text) or isinstance(b, Text):
+        return isinstance(a, Text) and isinstance(b, Text) and a.value == b.value
+    assert isinstance(a, Element) and isinstance(b, Element)
+    if a.tag != b.tag or a.attrs != b.attrs:
+        return False
+    if len(a.children) != len(b.children):
+        return False
+    return all(
+        ordered_equal(ca, cb) for ca, cb in zip(a.children, b.children)
+    )

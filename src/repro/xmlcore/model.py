@@ -1,0 +1,340 @@
+"""XML data model: labelled, unranked trees with peer-scoped node identifiers.
+
+The paper (Section 2.1) views an XML tree as an unranked, *unordered* tree
+whose leaves carry labels from ``L`` and whose internal nodes carry a label
+and an identifier from ``N``.  We keep children in an ordered list — XQuery
+semantics need a document order — but all equivalence comparisons used by
+the framework (:mod:`repro.xmlcore.canon`) treat trees as unordered, as the
+paper specifies.
+
+Two node kinds exist:
+
+* :class:`Element` — label (tag), attributes, children, optional node id;
+* :class:`Text` — a leaf holding character data.
+
+Node identifiers (:class:`NodeId`) are ``n@p`` pairs: a serial number plus
+the identifier of the hosting peer, so forward lists (``forw`` children of
+``sc`` nodes) can address "add the response under node n on peer p".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
+
+__all__ = [
+    "NodeId",
+    "NodeIdAllocator",
+    "Node",
+    "Element",
+    "Text",
+    "element",
+    "text",
+    "tree_size",
+    "iter_elements",
+    "iter_nodes",
+    "find_by_id",
+    "SC_LABEL",
+]
+
+#: Reserved label marking service-call nodes in AXML documents (Section 2.2).
+SC_LABEL = "sc"
+
+
+@dataclass(frozen=True, order=True)
+class NodeId:
+    """A node identifier ``n@p``: serial number ``serial`` on peer ``peer``."""
+
+    peer: str
+    serial: int
+
+    def __str__(self) -> str:
+        return f"n{self.serial}@{self.peer}"
+
+    @classmethod
+    def parse(cls, token: str) -> "NodeId":
+        """Parse ``n<serial>@<peer>`` back into a :class:`NodeId`."""
+        if "@" not in token or not token.startswith("n"):
+            raise ValueError(f"not a node identifier: {token!r}")
+        serial_part, peer = token[1:].split("@", 1)
+        return cls(peer=peer, serial=int(serial_part))
+
+
+class NodeIdAllocator:
+    """Hands out fresh :class:`NodeId` values for one peer.
+
+    Each peer owns one allocator, guaranteeing that identifiers are unique
+    per peer and therefore globally unique as ``(peer, serial)`` pairs.
+    """
+
+    def __init__(self, peer: str, start: int = 1) -> None:
+        self.peer = peer
+        self._counter = itertools.count(start)
+
+    def fresh(self) -> NodeId:
+        """Return the next unused node identifier on this peer."""
+        return NodeId(self.peer, next(self._counter))
+
+    def assign(self, root: "Element") -> None:
+        """Assign fresh ids to every element in ``root`` lacking one."""
+        for node in iter_elements(root):
+            if node.node_id is None:
+                node.node_id = self.fresh()
+
+
+class Node:
+    """Abstract base for tree nodes.  See :class:`Element`, :class:`Text`."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: Optional["Element"] = None
+
+    # -- interface -------------------------------------------------------
+    def copy(self) -> "Node":
+        """Deep-copy the subtree rooted here (parent pointer cleared)."""
+        raise NotImplementedError
+
+    def string_value(self) -> str:
+        """Concatenation of all descendant text, per XPath string-value."""
+        raise NotImplementedError
+
+    def serialized_size(self) -> int:
+        """Approximate serialized byte size; used for transfer accounting."""
+        raise NotImplementedError
+
+
+class Text(Node):
+    """A text leaf.  ``value`` holds the character data."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        super().__init__()
+        self.value = value
+
+    def copy(self) -> "Text":
+        return Text(self.value)
+
+    def string_value(self) -> str:
+        return self.value
+
+    def serialized_size(self) -> int:
+        return len(self.value.encode("utf-8"))
+
+    def __repr__(self) -> str:
+        return f"Text({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Text) and other.value == self.value
+
+    def __hash__(self) -> int:  # pragma: no cover - identity not hashed often
+        return hash(("text", self.value))
+
+
+class Element(Node):
+    """An element node: label, attributes, ordered children, optional id.
+
+    Children are either :class:`Element` or :class:`Text`.  Mutating helpers
+    (:meth:`append`, :meth:`remove`, :meth:`replace_child`) keep parent
+    pointers consistent; use them rather than touching ``children`` directly
+    when restructuring live documents.
+    """
+
+    __slots__ = ("tag", "attrs", "children", "node_id")
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: Optional[Dict[str, str]] = None,
+        children: Optional[Iterable[Node]] = None,
+        node_id: Optional[NodeId] = None,
+    ) -> None:
+        super().__init__()
+        self.tag = tag
+        self.attrs: Dict[str, str] = dict(attrs) if attrs else {}
+        self.children: List[Node] = []
+        self.node_id = node_id
+        if children:
+            for child in children:
+                self.append(child)
+
+    # -- construction / mutation -----------------------------------------
+    def append(self, child: Node) -> Node:
+        """Append ``child`` as the last child and set its parent pointer."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def extend(self, children: Iterable[Node]) -> None:
+        for child in children:
+            self.append(child)
+
+    def insert(self, index: int, child: Node) -> Node:
+        child.parent = self
+        self.children.insert(index, child)
+        return child
+
+    def insert_after(self, anchor: Node, child: Node) -> Node:
+        """Insert ``child`` immediately after ``anchor`` (a current child).
+
+        This is the accumulation primitive for continuous service results:
+        responses pile up as siblings of the ``sc`` node (Section 2.2).
+        """
+        index = self.index_of(anchor)
+        return self.insert(index + 1, child)
+
+    def remove(self, child: Node) -> None:
+        self.children.remove(child)
+        child.parent = None
+
+    def replace_child(self, old: Node, new: Node) -> None:
+        index = self.index_of(old)
+        old.parent = None
+        new.parent = self
+        self.children[index] = new
+
+    def detach(self) -> "Element":
+        """Remove this element from its parent (if any) and return it."""
+        if self.parent is not None:
+            self.parent.remove(self)
+        return self
+
+    def index_of(self, child: Node) -> int:
+        for index, candidate in enumerate(self.children):
+            if candidate is child:
+                return index
+        raise ValueError(f"{child!r} is not a child of {self!r}")
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def element_children(self) -> List["Element"]:
+        return [c for c in self.children if isinstance(c, Element)]
+
+    @property
+    def text_children(self) -> List[Text]:
+        return [c for c in self.children if isinstance(c, Text)]
+
+    def child_by_tag(self, tag: str) -> Optional["Element"]:
+        """First element child with the given tag, or ``None``."""
+        for child in self.element_children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def children_by_tag(self, tag: str) -> List["Element"]:
+        return [c for c in self.element_children if c.tag == tag]
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.attrs.get(name, default)
+
+    def string_value(self) -> str:
+        return "".join(child.string_value() for child in self.children)
+
+    def is_service_call(self) -> bool:
+        """True when this element is an ``sc`` (service-call) node."""
+        return self.tag == SC_LABEL
+
+    # -- lifecycle ---------------------------------------------------------
+    def copy(self) -> "Element":
+        """Deep copy; node ids are preserved on the copy, parents cleared.
+
+        Copies made for *shipping* deliberately keep ids so the receiver can
+        correlate; the receiving peer re-assigns ids on installation
+        (see :meth:`repro.peers.peer.Peer.install_document`).
+        """
+        clone = Element(self.tag, dict(self.attrs), node_id=self.node_id)
+        for child in self.children:
+            clone.append(child.copy())
+        return clone
+
+    def copy_without_ids(self) -> "Element":
+        """Deep copy with every node id cleared (fresh-document semantics)."""
+        clone = self.copy()
+        for node in iter_elements(clone):
+            node.node_id = None
+        return clone
+
+    def serialized_size(self) -> int:
+        """Byte size of ``<tag attrs>children</tag>`` in UTF-8, approximated
+        without building the string (used heavily in transfer accounting)."""
+        tag_bytes = len(self.tag.encode("utf-8"))
+        size = tag_bytes * 2 + 5  # <tag></tag>
+        for name, value in self.attrs.items():
+            size += len(name.encode("utf-8")) + len(value.encode("utf-8")) + 4
+        for child in self.children:
+            size += child.serialized_size()
+        return size
+
+    def __repr__(self) -> str:
+        ident = f" id={self.node_id}" if self.node_id else ""
+        return f"Element(<{self.tag}>{ident} children={len(self.children)})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+def element(
+    tag: str,
+    *children: Union[Node, str],
+    attrs: Optional[Dict[str, str]] = None,
+) -> Element:
+    """Build an :class:`Element`; bare strings become :class:`Text` children.
+
+    >>> e = element("a", element("b", "hi"), attrs={"x": "1"})
+    >>> e.tag, e.attrs["x"], e.element_children[0].string_value()
+    ('a', '1', 'hi')
+    """
+    node = Element(tag, attrs=attrs)
+    for child in children:
+        node.append(Text(child) if isinstance(child, str) else child)
+    return node
+
+
+def text(value: str) -> Text:
+    """Build a :class:`Text` node."""
+    return Text(value)
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+def iter_nodes(root: Node) -> Iterator[Node]:
+    """Pre-order traversal over all nodes (elements and text)."""
+    stack: List[Node] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, Element):
+            stack.extend(reversed(node.children))
+
+
+def iter_elements(root: Node) -> Iterator[Element]:
+    """Pre-order traversal over element nodes only."""
+    for node in iter_nodes(root):
+        if isinstance(node, Element):
+            yield node
+
+
+def tree_size(root: Node) -> int:
+    """Total node count of the subtree (elements + text leaves)."""
+    return sum(1 for _ in iter_nodes(root))
+
+
+def find_by_id(root: Node, node_id: NodeId) -> Optional[Element]:
+    """Locate the element with ``node_id`` in ``root``, or ``None``."""
+    for node in iter_elements(root):
+        if node.node_id == node_id:
+            return node
+    return None
+
+
+def find_first(root: Node, predicate: Callable[[Element], bool]) -> Optional[Element]:
+    """First element (pre-order) satisfying ``predicate``, or ``None``."""
+    for node in iter_elements(root):
+        if predicate(node):
+            return node
+    return None

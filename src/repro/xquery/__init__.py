@@ -1,0 +1,136 @@
+"""XQuery subset engine: lexer, parser, evaluator, algebra, decomposition.
+
+High-level facade is :class:`Query` — a parsed, named, possibly
+parameterized query that can be evaluated against documents, shipped as
+text (code shipping, rule (10) of the paper), composed and decomposed
+(rule (11)).
+
+>>> from repro.xquery import Query
+>>> from repro.xmlcore import parse
+>>> q = Query("for $i in $in//item where $i/price > 10 return $i/name",
+...           params=("in",))
+>>> doc = parse("<c><item><name>a</name><price>5</price></item>"
+...             "<item><name>b</name><price>20</price></item></c>")
+>>> [n.string_value() for n in q(doc)]
+['b']
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import XQueryEvaluationError
+from ..xmlcore.model import Element, Node
+from . import ast
+from .ast import Module, XQNode, unparse
+from .evaluator import DynamicContext, Evaluator, evaluate_query
+from .parser import parse_expression, parse_query
+from .runtime import (
+    AttributeNode,
+    DocumentOrder,
+    Item,
+    atomize,
+    effective_boolean_value,
+    string_value,
+)
+from .tokens import Lexer, Token, TokenType
+
+__all__ = [
+    "Query",
+    "ast",
+    "Module",
+    "XQNode",
+    "unparse",
+    "parse_query",
+    "parse_expression",
+    "Evaluator",
+    "DynamicContext",
+    "evaluate_query",
+    "AttributeNode",
+    "DocumentOrder",
+    "Item",
+    "atomize",
+    "effective_boolean_value",
+    "string_value",
+    "Lexer",
+    "Token",
+    "TokenType",
+]
+
+
+class Query:
+    """A named, parameterized query — the unit the paper ships between peers.
+
+    ``params`` names the external variables (the service's formal
+    parameters ``param1..paramn``); positional arguments to :meth:`run`
+    bind them in order.  ``source`` round-trips: ``Query(q.source)``
+    reproduces the query, which is exactly how peers exchange code.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        params: Sequence[str] = (),
+        name: Optional[str] = None,
+        doc_resolver=None,
+    ) -> None:
+        self.source = source
+        self.params: Tuple[str, ...] = tuple(params)
+        self.name = name
+        self.module: Module = parse_query(source)
+        self._evaluator = Evaluator(doc_resolver)
+        declared_external = {
+            v.name for v in self.module.variables if v.value is None
+        }
+        # params may also be declared 'external' in the prolog; merge.
+        for extra in declared_external:
+            if extra not in self.params:
+                self.params = self.params + (extra,)
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    def bind_resolver(self, doc_resolver) -> "Query":
+        """Return a copy whose ``doc()`` resolves through ``doc_resolver``."""
+        clone = Query.__new__(Query)
+        clone.source = self.source
+        clone.params = self.params
+        clone.name = self.name
+        clone.module = self.module
+        clone._evaluator = Evaluator(doc_resolver)
+        return clone
+
+    def run(
+        self,
+        *args: Union[Node, List[Item]],
+        variables: Optional[Dict[str, List[Item]]] = None,
+        context_item: Optional[Item] = None,
+    ) -> List[Item]:
+        """Evaluate with positional parameters bound to ``self.params``."""
+        if len(args) > len(self.params):
+            raise XQueryEvaluationError(
+                f"query takes {len(self.params)} parameters, got {len(args)}"
+            )
+        bindings: Dict[str, List[Item]] = dict(variables or {})
+        for name, value in zip(self.params, args):
+            bindings[name] = value if isinstance(value, list) else [value]
+        return self._evaluator.evaluate(
+            self.module, variables=bindings, context_item=context_item
+        )
+
+    __call__ = run
+
+    def run_elements(self, *args, **kwargs) -> List[Element]:
+        """Like :meth:`run` but asserts every result item is an element."""
+        result = self.run(*args, **kwargs)
+        elements = [item for item in result if isinstance(item, Element)]
+        if len(elements) != len(result):
+            raise XQueryEvaluationError(
+                "query produced non-element items where elements were expected"
+            )
+        return elements
+
+    def __repr__(self) -> str:
+        label = self.name or "anonymous"
+        return f"Query({label!r}, params={list(self.params)})"

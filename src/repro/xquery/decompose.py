@@ -1,0 +1,278 @@
+"""Query composition and decomposition (paper Section 3.3, rule (11)).
+
+Rule (11) says evaluation distributes over query composition: when
+``q ≡ q1(q2, ..., qn)``, each ``qi`` may be evaluated wherever it is
+cheapest.  The classic instance is Example 1 — *pushing selections*:
+split ``q`` into an inner query ``q3 = σ(q2)`` (navigation + selection,
+shipped to the peer hosting the data) and an outer query ``q1``
+(construction / aggregation, run where the results are needed), so only
+the selected subset crosses the network.
+
+:func:`push_selection` performs that split on FLWOR queries whose first
+``for`` clause ranges over the data parameter.  The contract, verified by
+tests and property tests, is::
+
+    outer(inner(d)) ≡ q(d)       for every document d
+
+:func:`compose` is the inverse operation — textually composing an outer
+query with inner queries to build ``q1(q2, ..., qn)`` — used by the
+optimizer to *un*-split when shipping whole queries is cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..errors import DecompositionError
+from . import Query
+from .ast import (
+    FLWORExpr, ForClause, LetClause, Module, PathExpr, Step, VarRef, XQNode,
+    unparse,
+)
+
+__all__ = ["Decomposition", "push_selection", "compose", "free_variables"]
+
+#: Envelope tag wrapping the inner query's results so they travel as one tree.
+ENVELOPE_TAG = "q-inner-result"
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """The outcome of a split: ``original ≡ outer ∘ inner``.
+
+    ``inner`` takes the original data parameter and returns an envelope
+    element; ``outer`` takes the envelope and produces the original result.
+    """
+
+    inner: Query
+    outer: Query
+    data_param: str
+
+    def recompose(self) -> Query:
+        """Textual recomposition (used in tests to sanity-check shapes)."""
+        return compose(self.outer, [self.inner], self.data_param)
+
+
+def free_variables(node: XQNode, bound: Optional[Set[str]] = None) -> Set[str]:
+    """Variables read by ``node`` that are not bound inside it."""
+    bound = set(bound or ())
+    free: Set[str] = set()
+    _collect_free(node, bound, free)
+    return free
+
+
+def _collect_free(node: XQNode, bound: Set[str], free: Set[str]) -> None:
+    if isinstance(node, VarRef):
+        if node.name not in bound:
+            free.add(node.name)
+        return
+    if isinstance(node, FLWORExpr):
+        inner_bound = set(bound)
+        for clause in node.clauses:
+            if isinstance(clause, ForClause):
+                _collect_free(clause.source, inner_bound, free)
+                inner_bound.add(clause.variable)
+                if clause.position_variable:
+                    inner_bound.add(clause.position_variable)
+            else:
+                _collect_free(clause.value, inner_bound, free)
+                inner_bound.add(clause.variable)
+        if node.where is not None:
+            _collect_free(node.where, inner_bound, free)
+        for spec in node.order_by:
+            _collect_free(spec.key, inner_bound, free)
+        _collect_free(node.return_expr, inner_bound, free)
+        return
+    from .ast import QuantifiedExpr
+
+    if isinstance(node, QuantifiedExpr):
+        inner_bound = set(bound)
+        for name, source in node.bindings:
+            _collect_free(source, inner_bound, free)
+            inner_bound.add(name)
+        _collect_free(node.condition, inner_bound, free)
+        return
+    # generic recursion over dataclass fields
+    for name in getattr(node, "__dataclass_fields__", {}):
+        value = getattr(node, name)
+        if isinstance(value, XQNode):
+            _collect_free(value, bound, free)
+        elif isinstance(value, tuple):
+            for entry in value:
+                if isinstance(entry, XQNode):
+                    _collect_free(entry, bound, free)
+                elif isinstance(entry, tuple):
+                    for sub in entry:
+                        if isinstance(sub, XQNode):
+                            _collect_free(sub, bound, free)
+
+
+def _first_for_clause(body: XQNode) -> Tuple[FLWORExpr, ForClause]:
+    if not isinstance(body, FLWORExpr):
+        raise DecompositionError(
+            "can only decompose FLWOR queries (body is "
+            f"{type(body).__name__})"
+        )
+    for clause in body.clauses:
+        if isinstance(clause, ForClause):
+            return body, clause
+    raise DecompositionError("query has no 'for' clause to decompose around")
+
+
+def _source_uses_param(source: XQNode, param: str) -> bool:
+    if isinstance(source, VarRef):
+        return source.name == param
+    if isinstance(source, PathExpr) and source.start is not None:
+        return _source_uses_param(source.start, param)
+    return False
+
+
+def push_selection(query: Query, data_param: Optional[str] = None) -> Decomposition:
+    """Split ``query`` into selection (inner) and construction (outer).
+
+    Requirements, checked and reported precisely on failure:
+
+    * the body is a FLWOR whose first ``for`` ranges over a path rooted at
+      the data parameter (``for $x in $d//items/item ...``);
+    * a ``where`` clause exists and references only the ``for`` variable
+      (plus literals/functions) — that is the pushable selection σ.
+
+    The inner query keeps the navigation and the where clause and returns
+    *copies of the matched bindings* wrapped in an envelope element; the
+    outer query is the original minus the where clause, re-rooted at the
+    envelope.  Per Example 1 of the paper, only the (typically small)
+    selected subset is ever shipped.
+    """
+    if data_param is None:
+        if not query.params:
+            raise DecompositionError("query has no parameters")
+        data_param = query.params[0]
+    if data_param not in query.params:
+        raise DecompositionError(f"unknown parameter ${data_param}")
+
+    body = query.module.body
+    flwor, for_clause = _first_for_clause(body)
+    if flwor.clauses[0] is not for_clause:
+        raise DecompositionError(
+            "the decomposable 'for' must be the first FLWOR clause"
+        )
+    if not _source_uses_param(for_clause.source, data_param):
+        raise DecompositionError(
+            f"the first 'for' clause does not range over ${data_param}"
+        )
+    if flwor.where is None:
+        raise DecompositionError("query has no 'where' clause to push")
+
+    where_free = free_variables(flwor.where)
+    allowed = {for_clause.variable}
+    if for_clause.position_variable:
+        allowed.add(for_clause.position_variable)
+    leaked = where_free - allowed
+    if leaked:
+        raise DecompositionError(
+            "where clause references variables other than the 'for' "
+            f"binding: {sorted(leaked)}"
+        )
+    if for_clause.position_variable and for_clause.position_variable in where_free:
+        raise DecompositionError(
+            "positional predicates cannot be pushed (position changes "
+            "after selection)"
+        )
+
+    var = for_clause.variable
+    navigation = unparse(for_clause.source)
+    predicate = unparse(flwor.where)
+
+    inner_source = (
+        f"declare variable ${data_param} external;\n"
+        f"<{ENVELOPE_TAG}>{{ for ${var} in {navigation} "
+        f"where {predicate} return ${var} }}</{ENVELOPE_TAG}>"
+    )
+    inner = Query(inner_source, params=(data_param,), name=f"{query.name or 'q'}-inner")
+
+    remaining_clauses = []
+    for clause in flwor.clauses:
+        if clause is for_clause:
+            continue
+        remaining_clauses.append(clause)
+    outer_flwor = FLWORExpr(
+        clauses=(
+            ForClause(var, _envelope_path(data_param), for_clause.position_variable),
+        ) + tuple(remaining_clauses),
+        where=None,
+        order_by=flwor.order_by,
+        return_expr=flwor.return_expr,
+    )
+    outer_module = Module(
+        variables=tuple(
+            v for v in query.module.variables if v.name != data_param
+        ),
+        functions=query.module.functions,
+        body=outer_flwor,
+    )
+    outer_source = (
+        f"declare variable ${data_param} external;\n" + unparse(outer_module)
+    )
+    outer = Query(
+        outer_source,
+        params=query.params,
+        name=f"{query.name or 'q'}-outer",
+    )
+    return Decomposition(inner=inner, outer=outer, data_param=data_param)
+
+
+def _envelope_path(data_param: str) -> XQNode:
+    """AST for ``$param/*`` — iterate the envelope's children."""
+    from .ast import NameTest
+    return PathExpr(VarRef(data_param), (Step("child", NameTest("*")),))
+
+
+def compose(outer: Query, inners: List[Query], data_param: str) -> Query:
+    """Build the composed query ``outer(inner1(...), ...)`` as one text.
+
+    The composition is purely syntactic: the inner queries become ``let``
+    bindings feeding the outer body, mirroring the paper's
+    ``q1(q2, ..., qn)`` notation.  Only single-inner composition is needed
+    by the optimizer today, but the general shape costs nothing extra.
+    """
+    if not inners:
+        raise DecompositionError("compose() needs at least one inner query")
+    lets = []
+    names = []
+    for index, inner in enumerate(inners):
+        bound = f"__c{index}"
+        names.append(bound)
+        inner_body = unparse(inner.module.body)
+        lets.append(f"let ${bound} := ({inner_body})")
+    outer_body = unparse(outer.module.body)
+    # the outer reads the data param; rebind it to the first inner's output
+    preamble = "\n".join(
+        f"declare variable ${p} external;" for p in _merged_params(outer, inners, data_param)
+    )
+    composed_source = (
+        f"{preamble}\n"
+        + "\n".join(lets)
+        + f"\nlet ${data_param} := ${names[0]}"
+        + f"\nreturn ({outer_body})"
+    )
+    # A FLWOR needs a leading clause; wrap as let...return
+    composed_source = composed_source.replace("\nlet", " let", 1).lstrip()
+    # normalize: ensure it parses
+    return Query(
+        composed_source,
+        params=_merged_params(outer, inners, data_param),
+        name=f"{outer.name or 'outer'}-composed",
+    )
+
+
+def _merged_params(outer: Query, inners: List[Query], data_param: str) -> Tuple[str, ...]:
+    params: List[str] = []
+    for inner in inners:
+        for param in inner.params:
+            if param not in params:
+                params.append(param)
+    for param in outer.params:
+        if param != data_param and param not in params:
+            params.append(param)
+    return tuple(params)

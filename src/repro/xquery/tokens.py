@@ -1,0 +1,261 @@
+"""Lexer for the XQuery subset.
+
+XQuery has no reserved words — ``for``, ``and``, ``div`` are legal element
+names — so the lexer emits every identifier as a ``NAME`` token and the
+parser decides from context whether a name is a keyword or an operator.
+
+The lexer is *on demand*: the parser pulls tokens one at a time and may
+take over raw character scanning for direct element constructors
+(``<a>{...}</a>``), whose interior follows XML rules, then hand control
+back.  :meth:`Lexer.sync_to` supports that hand-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import XQuerySyntaxError
+
+__all__ = ["Token", "Lexer", "TokenType"]
+
+
+class TokenType:
+    """Token kind constants (plain strings keep debugging output readable)."""
+
+    NAME = "NAME"          # identifiers and QNames (ns:local)
+    STRING = "STRING"      # quoted literal, quotes stripped, entities resolved
+    INTEGER = "INTEGER"
+    DECIMAL = "DECIMAL"
+    VARIABLE = "VARIABLE"  # $name (the '$' consumed, value = name)
+    SYMBOL = "SYMBOL"      # punctuation / operators
+    EOF = "EOF"
+
+
+# Multi-character symbols, longest first so prefix symbols do not shadow.
+_SYMBOLS = [
+    "//", "..", ":=", "!=", "<=", ">=", "<<", ">>",
+    "(", ")", "[", "]", "{", "}", ",", ";", "/", ".", "@",
+    "=", "<", ">", "|", "+", "-", "*", "?", "::", ":",
+]
+_SYMBOLS.sort(key=len, reverse=True)
+
+_STRING_ENTITIES = {
+    "lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+    pos: int  # character offset of the token start in the source
+
+    def is_name(self, *values: str) -> bool:
+        """True when this is a NAME token equal to one of ``values``."""
+        return self.type == TokenType.NAME and self.value in values
+
+    def is_symbol(self, *values: str) -> bool:
+        return self.type == TokenType.SYMBOL and self.value in values
+
+    def __str__(self) -> str:
+        return f"{self.type}({self.value!r})@{self.line}:{self.column}"
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_-."
+
+
+class Lexer:
+    """Pull-based tokenizer over an XQuery source string."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self._buffer: List[Token] = []
+
+    # -- public API ---------------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        """Look ahead without consuming; ``ahead=0`` is the next token."""
+        while len(self._buffer) <= ahead:
+            self._buffer.append(self._scan())
+        return self._buffer[ahead]
+
+    def next(self) -> Token:
+        """Consume and return the next token."""
+        if self._buffer:
+            return self._buffer.pop(0)
+        return self._scan()
+
+    def sync_to(self, pos: int) -> None:
+        """Reposition raw scanning at ``pos``, discarding lookahead.
+
+        Used by the direct-element-constructor sub-parser, which consumes
+        source characters itself and then resumes normal tokenizing.
+        """
+        self.pos = pos
+        self._buffer.clear()
+
+    def location(self, pos: Optional[int] = None) -> tuple:
+        """(line, column) of offset ``pos`` (default: current position)."""
+        if pos is None:
+            pos = self.pos
+        consumed = self.source[:pos]
+        line = consumed.count("\n") + 1
+        column = pos - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str, pos: Optional[int] = None) -> XQuerySyntaxError:
+        line, column = self.location(pos)
+        return XQuerySyntaxError(message, line, column)
+
+    # -- scanning -------------------------------------------------------------
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and (:..:) comments, which may nest."""
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif self.source.startswith("(:", self.pos):
+                depth = 1
+                self.pos += 2
+                while self.pos < len(self.source) and depth:
+                    if self.source.startswith("(:", self.pos):
+                        depth += 1
+                        self.pos += 2
+                    elif self.source.startswith(":)", self.pos):
+                        depth -= 1
+                        self.pos += 2
+                    else:
+                        self.pos += 1
+                if depth:
+                    raise self.error("unterminated comment")
+            else:
+                return
+
+    def _scan(self) -> Token:
+        self._skip_trivia()
+        start = self.pos
+        line, column = self.location(start)
+        if start >= len(self.source):
+            return Token(TokenType.EOF, "", line, column, start)
+        ch = self.source[start]
+
+        if ch == "$":
+            self.pos += 1
+            name = self._scan_qname()
+            if not name:
+                raise self.error("expected variable name after '$'")
+            return Token(TokenType.VARIABLE, name, line, column, start)
+
+        if ch in "\"'":
+            return Token(
+                TokenType.STRING, self._scan_string(ch), line, column, start
+            )
+
+        if ch.isdigit() or (
+            ch == "." and start + 1 < len(self.source)
+            and self.source[start + 1].isdigit()
+        ):
+            return self._scan_number(line, column, start)
+
+        if _is_name_start(ch):
+            name = self._scan_qname()
+            return Token(TokenType.NAME, name, line, column, start)
+
+        for symbol in _SYMBOLS:
+            if self.source.startswith(symbol, start):
+                self.pos = start + len(symbol)
+                return Token(TokenType.SYMBOL, symbol, line, column, start)
+
+        raise self.error(f"unexpected character {ch!r}")
+
+    def _scan_qname(self) -> str:
+        start = self.pos
+        if self.pos >= len(self.source) or not _is_name_start(self.source[self.pos]):
+            return ""
+        self.pos += 1
+        while self.pos < len(self.source) and _is_name_char(self.source[self.pos]):
+            self.pos += 1
+        # one optional ':' for a QName prefix — but not '::' (axis) and the
+        # local part must start immediately (so 'a :=' lexes as NAME, SYMBOL).
+        if (
+            self.pos < len(self.source)
+            and self.source[self.pos] == ":"
+            and not self.source.startswith("::", self.pos)
+            and self.pos + 1 < len(self.source)
+            and _is_name_start(self.source[self.pos + 1])
+        ):
+            self.pos += 1
+            while self.pos < len(self.source) and _is_name_char(self.source[self.pos]):
+                self.pos += 1
+        return self.source[start : self.pos]
+
+    def _scan_string(self, quote: str) -> str:
+        self.pos += 1
+        parts: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self.error("unterminated string literal")
+            ch = self.source[self.pos]
+            if ch == quote:
+                # doubled quote is an escaped quote in XQuery
+                if self.source.startswith(quote * 2, self.pos):
+                    parts.append(quote)
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return "".join(parts)
+            if ch == "&":
+                semi = self.source.find(";", self.pos + 1)
+                if semi < 0 or semi - self.pos > 12:
+                    raise self.error("malformed entity in string literal")
+                body = self.source[self.pos + 1 : semi]
+                if body.startswith("#x") or body.startswith("#X"):
+                    parts.append(chr(int(body[2:], 16)))
+                elif body.startswith("#"):
+                    parts.append(chr(int(body[1:])))
+                elif body in _STRING_ENTITIES:
+                    parts.append(_STRING_ENTITIES[body])
+                else:
+                    raise self.error(f"unknown entity &{body};")
+                self.pos = semi + 1
+                continue
+            parts.append(ch)
+            self.pos += 1
+
+    def _scan_number(self, line: int, column: int, start: int) -> Token:
+        seen_dot = False
+        seen_exp = False
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch.isdigit():
+                self.pos += 1
+            elif ch == "." and not seen_dot and not seen_exp:
+                # ".." after digits is a range-ish construct, not a decimal
+                if self.source.startswith("..", self.pos):
+                    break
+                seen_dot = True
+                self.pos += 1
+            elif ch in "eE" and not seen_exp:
+                peek = self.source[self.pos + 1 : self.pos + 3]
+                if peek and (peek[0].isdigit() or peek[0] in "+-"):
+                    seen_exp = True
+                    self.pos += 1
+                    if self.source[self.pos] in "+-":
+                        self.pos += 1
+                else:
+                    break
+            else:
+                break
+        literal = self.source[start : self.pos]
+        kind = TokenType.DECIMAL if (seen_dot or seen_exp) else TokenType.INTEGER
+        return Token(kind, literal, line, column, start)

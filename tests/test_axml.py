@@ -1,0 +1,328 @@
+"""Unit tests for the AXML layer: sc nodes, activation, streams."""
+
+import pytest
+
+from repro.axml import (
+    ActivationEngine,
+    ActivationMode,
+    AXMLDocument,
+    IncrementalQuery,
+    ServiceCall,
+    StreamChannel,
+    find_service_calls,
+    make_service_call,
+)
+from repro.errors import AXMLError, ServiceCallError
+from repro.peers import AXMLSystem, NativeService
+from repro.xmlcore import NodeId, element, parse, serialize
+from repro.xquery import Query
+
+
+@pytest.fixture()
+def system():
+    sys = AXMLSystem.with_peers(["p0", "p1", "p2"])
+    sys.peer("p1").install_query_service("hello", "<greeting>hi</greeting>")
+    sys.peer("p1").install_query_service(
+        "double",
+        "declare variable $x external; <out>{number($x) * 2}</out>",
+        params=("x",),
+    )
+    return sys
+
+
+def install_doc(system, peer, name, root):
+    system.peer(peer).install_document(name, root)
+    return AXMLDocument(name, peer, root)
+
+
+class TestServiceCallParsing:
+    def test_round_trip(self):
+        sc = make_service_call(
+            "p1", "svc", params=[element("a")], mode=ActivationMode.LAZY,
+            name="c1", after="c0",
+        )
+        call = ServiceCall.parse(sc)
+        assert call.provider == "p1"
+        assert call.service == "svc"
+        assert len(call.params) == 1
+        assert call.mode == ActivationMode.LAZY
+        assert call.name == "c1" and call.after == "c0"
+
+    def test_forwards_parsed(self):
+        target = NodeId("p2", 9)
+        sc = make_service_call("p1", "svc", forwards=[target])
+        assert ServiceCall.parse(sc).forwards == (target,)
+
+    def test_generic_provider(self):
+        sc = make_service_call("any", "svc")
+        assert ServiceCall.parse(sc).is_generic
+
+    def test_not_an_sc(self):
+        with pytest.raises(ServiceCallError):
+            ServiceCall.parse(element("div"))
+
+    def test_missing_peer_child(self):
+        bad = element("sc", element("service", "s"))
+        with pytest.raises(ServiceCallError):
+            ServiceCall.parse(bad)
+
+    def test_bad_forward_target(self):
+        bad = make_service_call("p1", "s")
+        bad.append(element("forw", "garbage"))
+        with pytest.raises(ServiceCallError):
+            ServiceCall.parse(bad)
+
+    def test_bad_mode(self):
+        bad = make_service_call("p1", "s")
+        bad.attrs["mode"] = "whenever"
+        with pytest.raises(ServiceCallError):
+            ServiceCall.parse(bad)
+
+    def test_param_payload_unwraps_single_element(self):
+        sc = make_service_call("p1", "s", params=[element("data", "x")])
+        (payload,) = ServiceCall.parse(sc).param_payloads()
+        assert payload.tag == "data"
+
+    def test_param_payload_keeps_wrapper_for_text(self):
+        sc = make_service_call("p1", "s", params=["just text"])
+        (payload,) = ServiceCall.parse(sc).param_payloads()
+        assert payload.tag == "param1"
+
+    def test_find_service_calls_document_order(self):
+        root = element(
+            "doc",
+            make_service_call("p1", "a"),
+            element("mid", make_service_call("p1", "b")),
+        )
+        assert [c.service for c in find_service_calls(root)] == ["a", "b"]
+
+
+class TestActivation:
+    def test_default_forward_is_sibling(self, system):
+        root = element("doc", make_service_call("p1", "hello"))
+        doc = install_doc(system, "p0", "d", root)
+        ActivationEngine(system).run_immediate(doc)
+        assert root.child_by_tag("greeting").string_value() == "hi"
+        # the sc node itself remains (results accumulate as siblings)
+        assert root.child_by_tag("sc") is not None
+
+    def test_parameters_shipped_and_used(self, system):
+        root = element("doc", make_service_call("p1", "double", params=[element("v", "21")]))
+        doc = install_doc(system, "p0", "d", root)
+        ActivationEngine(system).run_immediate(doc)
+        assert root.child_by_tag("out").string_value() == "42"
+
+    def test_explicit_forward_targets(self, system):
+        inbox = element("inbox")
+        system.peer("p2").install_document("acc", inbox)
+        root = element(
+            "doc",
+            make_service_call("p1", "hello", forwards=[inbox.node_id]),
+        )
+        doc = install_doc(system, "p0", "d", root)
+        ActivationEngine(system).run_immediate(doc)
+        assert inbox.child_by_tag("greeting") is not None
+        assert root.child_by_tag("greeting") is None  # not delivered locally
+
+    def test_multiple_forward_targets(self, system):
+        box1, box2 = element("b1"), element("b2")
+        system.peer("p2").install_document("acc1", box1)
+        system.peer("p0").install_document("acc2", box2)
+        root = element(
+            "doc",
+            make_service_call(
+                "p1", "hello", forwards=[box1.node_id, box2.node_id]
+            ),
+        )
+        doc = install_doc(system, "p0", "d", root)
+        ActivationEngine(system).run_immediate(doc)
+        assert box1.child_by_tag("greeting") is not None
+        assert box2.child_by_tag("greeting") is not None
+
+    def test_network_charged(self, system):
+        root = element("doc", make_service_call("p1", "hello"))
+        doc = install_doc(system, "p0", "d", root)
+        ActivationEngine(system).run_immediate(doc)
+        stats = system.network.stats
+        assert stats.messages == 2  # call + result
+        assert stats.bytes > 0
+
+    def test_unknown_service(self, system):
+        root = element("doc", make_service_call("p1", "ghost"))
+        doc = install_doc(system, "p0", "d", root)
+        with pytest.raises(ServiceCallError):
+            ActivationEngine(system).run_immediate(doc)
+
+    def test_generic_call_resolved_via_registry(self, system):
+        system.registry.register_service("hello", "hello", "p1")
+        root = element("doc", make_service_call("any", "hello"))
+        doc = install_doc(system, "p0", "d", root)
+        results = ActivationEngine(system).run_immediate(doc)
+        assert results[0].provider == "p1"
+
+    def test_chained_activation(self, system):
+        root = element(
+            "doc",
+            make_service_call("p1", "hello", name="first"),
+            make_service_call("p1", "hello", after="first"),
+        )
+        doc = install_doc(system, "p0", "d", root)
+        ActivationEngine(system).run_immediate(doc)
+        assert len(root.children_by_tag("greeting")) == 2
+
+    def test_lazy_not_fired_by_immediate_pass(self, system):
+        root = element(
+            "doc", make_service_call("p1", "hello", mode=ActivationMode.LAZY)
+        )
+        doc = install_doc(system, "p0", "d", root)
+        ActivationEngine(system).run_immediate(doc)
+        assert root.child_by_tag("greeting") is None
+
+    def test_lazy_fired_for_query(self, system):
+        root = element(
+            "doc", make_service_call("p1", "hello", mode=ActivationMode.LAZY)
+        )
+        doc = install_doc(system, "p0", "d", root)
+        ActivationEngine(system).activate_for_query(doc)
+        assert root.child_by_tag("greeting") is not None
+
+    def test_manual_never_auto_fired(self, system):
+        root = element(
+            "doc", make_service_call("p1", "hello", mode=ActivationMode.MANUAL)
+        )
+        doc = install_doc(system, "p0", "d", root)
+        engine = ActivationEngine(system)
+        engine.run_immediate(doc)
+        engine.activate_for_query(doc)
+        assert root.child_by_tag("greeting") is None
+        # explicit activation still possible
+        engine.activate(doc, doc.service_calls()[0])
+        assert root.child_by_tag("greeting") is not None
+
+    def test_recursive_responses_reach_fixpoint(self, system):
+        # a service whose response embeds another call
+        inner_call = make_service_call("p1", "hello")
+        def respond(params, host):
+            return [element("wrap", inner_call.copy())]
+        system.peer("p1").install_service(NativeService("nest", respond))
+        root = element("doc", make_service_call("p1", "nest"))
+        doc = install_doc(system, "p0", "d", root)
+        ActivationEngine(system).run_immediate(doc)
+        wrap = root.child_by_tag("wrap")
+        assert wrap.child_by_tag("greeting") is not None
+
+    def test_activation_history(self, system):
+        root = element("doc", make_service_call("p1", "hello"))
+        doc = install_doc(system, "p0", "d", root)
+        engine = ActivationEngine(system)
+        engine.run_immediate(doc)
+        assert len(engine.history) == 1
+        assert engine.history[0].messages == 2
+
+    def test_pending_tracking(self, system):
+        root = element("doc", make_service_call("p1", "hello"))
+        doc = install_doc(system, "p0", "d", root)
+        assert len(doc.pending_calls()) == 1
+        ActivationEngine(system).run_immediate(doc)
+        assert doc.pending_calls() == []
+
+    def test_materialized_view_strips_calls(self, system):
+        root = element("doc", element("keep"), make_service_call("p1", "hello"))
+        doc = install_doc(system, "p0", "d", root)
+        view = doc.materialized_view()
+        assert view.child_by_tag("keep") is not None
+        assert view.child_by_tag("sc") is None
+
+
+class TestStreams:
+    def test_emissions_accumulate(self, system):
+        target = element("feed")
+        system.peer("p2").install_document("acc", target)
+        channel = StreamChannel("news", "p0", system)
+        channel.subscribe(target.node_id)
+        channel.emit(parse("<item>1</item>"))
+        channel.emit(parse("<item>2</item>"))
+        assert [c.string_value() for c in target.element_children] == ["1", "2"]
+
+    def test_late_subscriber_catches_up(self, system):
+        channel = StreamChannel("news", "p0", system)
+        channel.emit(parse("<item>old</item>"))
+        target = element("feed")
+        system.peer("p2").install_document("acc", target)
+        channel.subscribe(target.node_id)
+        assert target.element_children[0].string_value() == "old"
+
+    def test_each_emission_charged(self, system):
+        target = element("feed")
+        system.peer("p2").install_document("acc", target)
+        channel = StreamChannel("news", "p0", system)
+        channel.subscribe(target.node_id)
+        before = system.network.stats.messages
+        channel.emit(parse("<item>x</item>"))
+        assert system.network.stats.messages == before + 1
+
+    def test_clock_advances(self, system):
+        target = element("feed")
+        system.peer("p2").install_document("acc", target)
+        channel = StreamChannel("news", "p0", system)
+        channel.subscribe(target.node_id)
+        t1 = channel.emit(parse("<item>1</item>"))
+        t2 = channel.emit(parse("<item>2</item>"))
+        assert t2 > t1
+
+    def test_missing_target_raises(self, system):
+        channel = StreamChannel("news", "p0", system)
+        channel.subscriptions.append(
+            type(channel.subscriptions)() if False else
+            __import__("repro.axml.streams", fromlist=["Subscription"]).Subscription(
+                NodeId("p2", 424242)
+            )
+        )
+        with pytest.raises(AXMLError):
+            channel.emit(parse("<item/>"))
+
+
+class TestIncrementalQuery:
+    def _query(self):
+        return Query(
+            "for $x in $in where number($x/v) > 10 return <hit>{$x/v/text()}</hit>",
+            params=("in",),
+        )
+
+    def test_incremental_outputs(self):
+        iq = IncrementalQuery(self._query(), mode="incremental")
+        assert iq.push(parse("<e><v>5</v></e>")) == []
+        (hit,) = iq.push(parse("<e><v>11</v></e>"))
+        assert hit.string_value() == "11"
+        assert len(iq.outputs) == 1
+
+    def test_reevaluate_mode_same_answers(self):
+        trees = [parse(f"<e><v>{n}</v></e>") for n in (5, 11, 20, 3)]
+        inc = IncrementalQuery(self._query(), mode="incremental")
+        ree = IncrementalQuery(self._query(), mode="reevaluate")
+        inc.push_many([t.copy() for t in trees])
+        ree.push_many([t.copy() for t in trees])
+        assert [serialize(o) for o in inc.outputs] == [
+            serialize(o) for o in ree.outputs
+        ]
+
+    def test_work_scales_differently(self):
+        trees = [parse(f"<e><v>{n}</v></e>") for n in range(20)]
+        inc = IncrementalQuery(self._query(), mode="incremental")
+        ree = IncrementalQuery(self._query(), mode="reevaluate")
+        inc.push_many([t.copy() for t in trees])
+        ree.push_many([t.copy() for t in trees])
+        assert inc.trees_processed == 20
+        assert ree.trees_processed == 20 * 21 // 2  # quadratic
+
+    def test_on_output_callback(self):
+        seen = []
+        iq = IncrementalQuery(
+            self._query(), on_output=lambda fresh: seen.extend(fresh)
+        )
+        iq.push(parse("<e><v>99</v></e>"))
+        assert len(seen) == 1
+
+    def test_unknown_mode(self):
+        with pytest.raises(AXMLError):
+            IncrementalQuery(self._query(), mode="psychic")

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion and prints the
+headline facts it promises.  Keeps the examples from rotting as the API
+evolves."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, timeout=180):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "equivalent?      True" in out
+        assert "improvement" in out
+        assert "<expensive>" in out
+
+    def test_edos_distribution(self):
+        out = run_example("edos_distribution.py")
+        assert "mirrors equivalent: True" in out
+        assert "mirrors still equivalent: True" in out
+        assert "alice" in out and "bob" in out
+
+    def test_continuous_dashboard(self):
+        out = run_example("continuous_dashboard.py")
+        assert "incremental" in out
+        assert "quadratic" in out
+
+    def test_optimizer_tour(self):
+        out = run_example("optimizer_tour.py")
+        # every rule section appears, and no rewrite was non-equivalent
+        for rule in (
+            "query-delegation(10)", "push-selection(11)", "reroute(12)",
+            "transfer-reuse(13)", "delegate-expression(14)",
+            "relocate-call(15)", "push-query-over-call(16)",
+        ):
+            assert rule in out
+        assert "≠(!)" not in out

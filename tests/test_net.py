@@ -1,0 +1,188 @@
+"""Unit tests for the network simulator (repro.net)."""
+
+import pytest
+
+from repro.errors import NetworkError, NoRouteError, UnknownPeerError
+from repro.net import Message, MessageKind, Network, topology
+
+
+class TestMessage:
+    def test_payload_bytes_utf8(self):
+        assert Message("a", "b", "data", "héllo").payload_bytes == 6
+
+    def test_size_includes_envelope(self):
+        message = Message("a", "b", "data", "x")
+        assert message.size == 1 + Message.ENVELOPE_OVERHEAD
+
+    def test_size_includes_headers(self):
+        plain = Message("a", "b", "data", "x")
+        with_headers = Message("a", "b", "data", "x", {"k": "vvvv"})
+        assert with_headers.size == plain.size + 1 + 4 + 4
+
+    def test_sequence_numbers_increase(self):
+        first = Message("a", "b", "data", "")
+        second = Message("a", "b", "data", "")
+        assert second.seq > first.seq
+
+
+class TestLinks:
+    def test_transfer_time_components(self):
+        net = Network()
+        net.add_link("a", "b", latency=0.1, bandwidth=1000.0)
+        message = Message("a", "b", MessageKind.DATA, "x" * 936)  # 1000B total
+        arrival = net.deliver(message, ready_at=0.0)
+        assert arrival == pytest.approx(0.1 + 1.0)
+
+    def test_fifo_serialization(self):
+        net = Network()
+        net.add_link("a", "b", latency=0.0, bandwidth=1000.0)
+        m1 = Message("a", "b", MessageKind.DATA, "x" * 936)
+        m2 = Message("a", "b", MessageKind.DATA, "x" * 936)
+        t1 = net.deliver(m1, 0.0)
+        t2 = net.deliver(m2, 0.0)  # queues behind m1
+        assert t2 == pytest.approx(t1 + 1.0)
+
+    def test_ready_at_delays_start(self):
+        net = Network()
+        net.add_link("a", "b", latency=0.0, bandwidth=1e9)
+        arrival = net.deliver(Message("a", "b", MessageKind.DATA, "x"), 5.0)
+        assert arrival >= 5.0
+
+    def test_loopback_is_free(self):
+        net = Network()
+        net.add_peer("a")
+        arrival = net.deliver(Message("a", "a", MessageKind.DATA, "x" * 10000), 1.0)
+        assert arrival == 1.0
+        assert net.stats.messages == 0
+
+    def test_reset_clock_clears_busy(self):
+        net = Network()
+        net.add_link("a", "b", latency=0.0, bandwidth=100.0)
+        net.deliver(Message("a", "b", MessageKind.DATA, "x" * 1000), 0.0)
+        net.reset_clock()
+        assert net.link("a", "b").busy_until == 0.0
+
+
+class TestRouting:
+    def test_direct_link(self):
+        net = Network()
+        net.add_link("a", "b")
+        assert [l.dst for l in net.route("a", "b")] == ["b"]
+
+    def test_multi_hop(self):
+        net = Network()
+        net.add_link("a", "b")
+        net.add_link("b", "c")
+        assert [l.dst for l in net.route("a", "c")] == ["b", "c"]
+
+    def test_prefers_fast_path(self):
+        net = Network()
+        net.add_link("a", "c", latency=1.0)           # slow direct
+        net.add_link("a", "b", latency=0.01)
+        net.add_link("b", "c", latency=0.01)
+        assert [l.dst for l in net.route("a", "c")] == ["b", "c"]
+
+    def test_no_route(self):
+        net = Network()
+        net.add_peer("a")
+        net.add_peer("z")
+        with pytest.raises(NoRouteError):
+            net.route("a", "z")
+
+    def test_unknown_peer(self):
+        net = Network()
+        net.add_peer("a")
+        with pytest.raises(UnknownPeerError):
+            net.route("a", "ghost")
+
+    def test_self_route_empty(self):
+        net = Network()
+        net.add_peer("a")
+        assert net.route("a", "a") == []
+
+    def test_asymmetric_links(self):
+        net = Network()
+        net.add_link("a", "b", symmetric=False)
+        net.route("a", "b")
+        with pytest.raises(NoRouteError):
+            net.route("b", "a")
+
+
+class TestStats:
+    def test_per_kind_accounting(self):
+        net = Network()
+        net.add_link("a", "b")
+        net.deliver(Message("a", "b", MessageKind.DATA, "12345"))
+        net.deliver(Message("a", "b", MessageKind.QUERY, "q"))
+        assert net.stats.messages == 2
+        assert net.stats.by_kind[MessageKind.DATA] == 1
+        assert net.stats.by_kind[MessageKind.QUERY] == 1
+        assert net.stats.bytes_by_kind[MessageKind.DATA] > net.stats.bytes_by_kind[MessageKind.QUERY]
+
+    def test_link_stats(self):
+        net = Network()
+        net.add_link("a", "b", bandwidth=1000.0)
+        net.deliver(Message("a", "b", MessageKind.DATA, "x" * 100))
+        link = net.link("a", "b")
+        assert link.stats.messages == 1
+        assert link.stats.bytes == 100 + Message.ENVELOPE_OVERHEAD
+
+    def test_reset_stats(self):
+        net = Network()
+        net.add_link("a", "b")
+        net.deliver(Message("a", "b", MessageKind.DATA, "x"))
+        net.reset_stats()
+        assert net.stats.messages == 0
+        assert net.link("a", "b").stats.messages == 0
+
+    def test_log_when_enabled(self):
+        net = Network()
+        net.add_link("a", "b")
+        net.keep_log = True
+        net.deliver(Message("a", "b", MessageKind.DATA, "x"))
+        assert len(net.log) == 1
+
+
+class TestTopologies:
+    PEERS = ["p0", "p1", "p2", "p3"]
+
+    def test_full_mesh_connects_all(self):
+        net = topology.full_mesh(self.PEERS)
+        for a in self.PEERS:
+            for b in self.PEERS:
+                if a != b:
+                    assert len(net.route(a, b)) == 1
+
+    def test_star_routes_through_hub(self):
+        net = topology.star(self.PEERS)
+        assert [l.dst for l in net.route("p1", "p2")] == ["p0", "p2"]
+
+    def test_star_needs_peers(self):
+        with pytest.raises(NetworkError):
+            topology.star([])
+
+    def test_ring_goes_around(self):
+        net = topology.ring(self.PEERS)
+        assert len(net.route("p0", "p2")) == 2
+
+    def test_line_hop_count(self):
+        net = topology.line(self.PEERS)
+        assert len(net.route("p0", "p3")) == 3
+
+    def test_random_graph_connected_and_seeded(self):
+        a = topology.random_graph(self.PEERS, seed=7)
+        b = topology.random_graph(self.PEERS, seed=7)
+        for src in self.PEERS:
+            for dst in self.PEERS:
+                if src != dst:
+                    assert len(a.route(src, dst)) == len(b.route(src, dst))
+
+    def test_two_tier_homes_edges(self):
+        net = topology.two_tier(["c0", "c1"], ["e0", "e1", "e2"])
+        # e0 homed on c0, e1 on c1: e0 -> e1 goes via both cores
+        hops = [l.dst for l in net.route("e0", "e1")]
+        assert hops[0] == "c0" and hops[-1] == "e1"
+
+    def test_uniform_alias(self):
+        net = topology.uniform(["a", "b"], latency=0.5)
+        assert net.link("a", "b").latency == 0.5

@@ -1,0 +1,238 @@
+"""Unit tests for canonical forms (canon) and schema-lite (schema)."""
+
+import pytest
+
+from repro.errors import SchemaError, ValidationError
+from repro.xmlcore import (
+    ANY,
+    EMPTY,
+    UNBOUNDED,
+    AnyType,
+    Choice,
+    ElementType,
+    Interleave,
+    NodeId,
+    Occurs,
+    Ref,
+    Schema,
+    Sequence,
+    Signature,
+    TextType,
+    canonical_form,
+    canonical_hash,
+    element,
+    equivalent,
+    ordered_equal,
+    parse,
+)
+
+
+class TestCanonicalForm:
+    def test_child_order_ignored(self):
+        a = parse("<r><x/><y/></r>")
+        b = parse("<r><y/><x/></r>")
+        assert equivalent(a, b)
+        assert canonical_hash(a) == canonical_hash(b)
+
+    def test_deep_reordering(self):
+        a = parse("<r><g><x>1</x><y>2</y></g><g><z/></g></r>")
+        b = parse("<r><g><z/></g><g><y>2</y><x>1</x></g></r>")
+        assert equivalent(a, b)
+
+    def test_multiset_semantics(self):
+        a = parse("<r><x/><x/></r>")
+        b = parse("<r><x/></r>")
+        assert not equivalent(a, b)
+
+    def test_attrs_matter(self):
+        assert not equivalent(parse("<a x='1'/>"), parse("<a x='2'/>"))
+        assert equivalent(parse("<a x='1' y='2'/>"), parse("<a y='2' x='1'/>"))
+
+    def test_text_matters(self):
+        assert not equivalent(parse("<a>1</a>"), parse("<a>2</a>"))
+
+    def test_whitespace_only_text_ignored_by_default(self):
+        assert equivalent(parse("<a><b/>\n  </a>"), parse("<a><b/></a>"))
+
+    def test_whitespace_preserved_when_requested(self):
+        a, b = parse("<a>x </a>"), parse("<a>x</a>")
+        assert equivalent(a, b)
+        assert not equivalent(a, b, strip_whitespace=False)
+
+    def test_node_ids_ignored(self):
+        a = element("r", element("x"))
+        b = element("r", element("x"))
+        a.node_id = NodeId("p1", 1)
+        b.node_id = NodeId("p2", 99)
+        assert equivalent(a, b)
+
+    def test_canonical_form_is_hashable_tuple(self):
+        form = canonical_form(parse("<a><b/>t</a>"))
+        assert hash(form) == hash(canonical_form(parse("<a>t<b/></a>")))
+
+
+class TestOrderedEqual:
+    def test_order_sensitive(self):
+        assert not ordered_equal(parse("<r><x/><y/></r>"), parse("<r><y/><x/></r>"))
+        assert ordered_equal(parse("<r><x/><y/></r>"), parse("<r><x/><y/></r>"))
+
+    def test_different_lengths(self):
+        assert not ordered_equal(parse("<r><x/></r>"), parse("<r><x/><x/></r>"))
+
+    def test_text_vs_element(self):
+        assert not ordered_equal(parse("<r>t</r>"), parse("<r><t/></r>"))
+
+
+class TestContentModels:
+    def _schema(self):
+        s = Schema()
+        s.define(
+            "item",
+            ElementType(
+                "item",
+                Sequence(
+                    ElementType("name", Occurs(TextType(), 0, 1)),
+                    ElementType("price", Occurs(TextType(), 0, 1)),
+                ),
+            ),
+        )
+        s.define("catalog", ElementType("catalog", Occurs(Ref("item"), 0, UNBOUNDED)))
+        return s
+
+    def test_sequence_order_enforced(self):
+        s = self._schema()
+        good = parse("<item><name>x</name><price>1</price></item>")
+        bad = parse("<item><price>1</price><name>x</name></item>")
+        assert s.is_valid(good, "item")
+        assert not s.is_valid(bad, "item")
+
+    def test_occurs_star(self):
+        s = self._schema()
+        assert s.is_valid(parse("<catalog/>"), "catalog")
+        many = element(
+            "catalog",
+            *[parse("<item><name>n</name><price>1</price></item>") for _ in range(5)],
+        )
+        assert s.is_valid(many, "catalog")
+
+    def test_occurs_bounds(self):
+        s = Schema()
+        s.define("r", ElementType("r", Occurs(ElementType("x"), 1, 2)))
+        assert not s.is_valid(parse("<r/>"), "r")
+        assert s.is_valid(parse("<r><x/></r>"), "r")
+        assert s.is_valid(parse("<r><x/><x/></r>"), "r")
+        assert not s.is_valid(parse("<r><x/><x/><x/></r>"), "r")
+
+    def test_choice(self):
+        s = Schema()
+        s.define(
+            "r", ElementType("r", Choice(ElementType("a"), ElementType("b")))
+        )
+        assert s.is_valid(parse("<r><a/></r>"), "r")
+        assert s.is_valid(parse("<r><b/></r>"), "r")
+        assert not s.is_valid(parse("<r><c/></r>"), "r")
+        assert not s.is_valid(parse("<r><a/><b/></r>"), "r")
+
+    def test_interleave_any_order(self):
+        s = Schema()
+        s.define(
+            "r", ElementType("r", Interleave(ElementType("a"), ElementType("b")))
+        )
+        assert s.is_valid(parse("<r><a/><b/></r>"), "r")
+        assert s.is_valid(parse("<r><b/><a/></r>"), "r")
+        assert not s.is_valid(parse("<r><a/></r>"), "r")
+
+    def test_any_type_wildcard(self):
+        s = Schema()
+        s.define("r", ElementType("r", ANY))
+        assert s.is_valid(parse("<r><anything/>text<more/></r>"), "r")
+
+    def test_empty_model(self):
+        s = Schema()
+        s.define("r", ElementType("r", EMPTY))
+        assert s.is_valid(parse("<r/>"), "r")
+        assert not s.is_valid(parse("<r><x/></r>"), "r")
+
+    def test_required_attrs(self):
+        s = Schema()
+        s.define("r", ElementType("r", required_attrs=("id",)))
+        assert s.is_valid(parse("<r id='1'/>"), "r")
+        assert not s.is_valid(parse("<r/>"), "r")
+
+    def test_recursive_type_via_ref(self):
+        s = Schema()
+        s.define(
+            "tree",
+            ElementType("node", Occurs(Ref("tree"), 0, UNBOUNDED)),
+        )
+        assert s.is_valid(parse("<node><node><node/></node></node>"), "tree")
+        assert not s.is_valid(parse("<node><leaf/></node>"), "tree")
+
+    def test_whitespace_text_ignored_in_validation(self):
+        s = self._schema()
+        tree = parse("<item>\n  <name>x</name>\n  <price>1</price>\n</item>")
+        assert s.is_valid(tree, "item")
+
+    def test_text_type(self):
+        s = Schema()
+        s.define("r", ElementType("r", TextType()))
+        assert s.is_valid(parse("<r>some text</r>"), "r")
+        assert not s.is_valid(parse("<r><x/></r>"), "r")
+
+
+class TestSchemaRegistry:
+    def test_duplicate_definition_rejected(self):
+        s = Schema()
+        s.define("t", AnyType())
+        with pytest.raises(SchemaError):
+            s.define("t", AnyType())
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema().resolve("missing")
+
+    def test_names_sorted(self):
+        s = Schema()
+        s.define("b", AnyType())
+        s.define("a", AnyType())
+        assert s.names() == ["a", "b"]
+
+    def test_validate_raises_with_context(self):
+        s = Schema()
+        s.define("r", ElementType("r", EMPTY))
+        with pytest.raises(ValidationError, match="does not conform"):
+            s.validate(parse("<r><x/></r>"), "r")
+
+    def test_occurs_rejects_bad_bounds(self):
+        with pytest.raises(SchemaError):
+            Occurs(AnyType(), min=2, max=1)
+        with pytest.raises(SchemaError):
+            Occurs(AnyType(), min=-1)
+
+
+class TestSignature:
+    def test_untyped_signature_accepts_anything(self):
+        sig = Signature()
+        sig.check_inputs([parse("<x/>"), parse("<y/>")])
+        sig.check_output(parse("<z/>"))
+
+    def test_typed_signature_checks_arity(self):
+        s = Schema()
+        s.define("in", ElementType("q", ANY))
+        s.define("out", ElementType("r", ANY))
+        sig = Signature(inputs=("in",), output="out", schema=s)
+        assert sig.arity == 1
+        with pytest.raises(ValidationError):
+            sig.check_inputs([])
+
+    def test_typed_signature_checks_shapes(self):
+        s = Schema()
+        s.define("in", ElementType("q", ANY))
+        s.define("out", ElementType("r", ANY))
+        sig = Signature(inputs=("in",), output="out", schema=s)
+        sig.check_inputs([parse("<q><any/></q>")])
+        with pytest.raises(ValidationError):
+            sig.check_inputs([parse("<wrong/>")])
+        sig.check_output(parse("<r/>"))
+        with pytest.raises(ValidationError):
+            sig.check_output(parse("<wrong/>"))

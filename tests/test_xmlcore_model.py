@@ -1,0 +1,218 @@
+"""Unit tests for the XML data model (repro.xmlcore.model)."""
+
+import pytest
+
+from repro.xmlcore import (
+    Element,
+    NodeId,
+    NodeIdAllocator,
+    Text,
+    element,
+    find_by_id,
+    find_first,
+    iter_elements,
+    iter_nodes,
+    text,
+    tree_size,
+)
+
+
+class TestNodeId:
+    def test_str_round_trip(self):
+        nid = NodeId("p1", 42)
+        assert str(nid) == "n42@p1"
+        assert NodeId.parse(str(nid)) == nid
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            NodeId.parse("not-an-id")
+
+    def test_parse_rejects_missing_at(self):
+        with pytest.raises(ValueError):
+            NodeId.parse("n42")
+
+    def test_ordering_is_by_peer_then_serial(self):
+        assert NodeId("a", 2) < NodeId("b", 1)
+        assert NodeId("a", 1) < NodeId("a", 2)
+
+
+class TestNodeIdAllocator:
+    def test_fresh_ids_are_distinct(self):
+        alloc = NodeIdAllocator("p1")
+        ids = {alloc.fresh() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_assign_fills_missing_only(self):
+        alloc = NodeIdAllocator("p1")
+        existing = NodeId("p1", 999)
+        root = element("a", element("b"))
+        root.node_id = existing
+        alloc.assign(root)
+        assert root.node_id == existing
+        assert root.element_children[0].node_id is not None
+
+    def test_allocators_scoped_per_peer(self):
+        a = NodeIdAllocator("p1").fresh()
+        b = NodeIdAllocator("p2").fresh()
+        assert a != b
+        assert a.serial == b.serial  # same serial, different peer
+
+
+class TestElementConstruction:
+    def test_element_helper_wraps_strings(self):
+        e = element("a", "hello", element("b"))
+        assert isinstance(e.children[0], Text)
+        assert isinstance(e.children[1], Element)
+
+    def test_parent_pointers_set_on_append(self):
+        parent = element("a")
+        child = element("b")
+        parent.append(child)
+        assert child.parent is parent
+
+    def test_attrs_are_copied(self):
+        attrs = {"x": "1"}
+        e = Element("a", attrs)
+        attrs["x"] = "2"
+        assert e.attrs["x"] == "1"
+
+    def test_extend(self):
+        parent = element("a")
+        parent.extend([element("b"), text("t")])
+        assert len(parent.children) == 2
+
+
+class TestElementMutation:
+    def test_insert_after(self):
+        parent = element("a", element("b"), element("d"))
+        anchor = parent.children[0]
+        parent.insert_after(anchor, element("c"))
+        assert [c.tag for c in parent.element_children] == ["b", "c", "d"]
+
+    def test_remove_clears_parent(self):
+        parent = element("a", element("b"))
+        child = parent.element_children[0]
+        parent.remove(child)
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_replace_child(self):
+        parent = element("a", element("old"))
+        new = element("new")
+        parent.replace_child(parent.children[0], new)
+        assert parent.element_children[0].tag == "new"
+        assert new.parent is parent
+
+    def test_detach(self):
+        parent = element("a", element("b"))
+        child = parent.element_children[0]
+        assert child.detach() is child
+        assert parent.children == []
+
+    def test_detach_unparented_is_noop(self):
+        orphan = element("x")
+        assert orphan.detach() is orphan
+
+    def test_index_of_uses_identity(self):
+        twin1, twin2 = element("t"), element("t")
+        parent = element("a", twin1, twin2)
+        assert parent.index_of(twin2) == 1
+
+    def test_index_of_missing_raises(self):
+        with pytest.raises(ValueError):
+            element("a").index_of(element("b"))
+
+
+class TestQueries:
+    def test_string_value_concatenates_descendants(self):
+        e = element("a", "x", element("b", "y"), "z")
+        assert e.string_value() == "xyz"
+
+    def test_child_by_tag_first_match(self):
+        e = element("a", element("b", "1"), element("b", "2"))
+        assert e.child_by_tag("b").string_value() == "1"
+        assert e.child_by_tag("zzz") is None
+
+    def test_children_by_tag(self):
+        e = element("a", element("b"), element("c"), element("b"))
+        assert len(e.children_by_tag("b")) == 2
+
+    def test_is_service_call(self):
+        assert element("sc").is_service_call()
+        assert not element("scx").is_service_call()
+
+    def test_get_attribute_default(self):
+        e = element("a", attrs={"k": "v"})
+        assert e.get("k") == "v"
+        assert e.get("missing", "d") == "d"
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        original = element("a", element("b", "t"))
+        clone = original.copy()
+        clone.element_children[0].append(text("extra"))
+        assert original.element_children[0].string_value() == "t"
+
+    def test_copy_preserves_ids(self):
+        original = element("a")
+        original.node_id = NodeId("p", 7)
+        assert original.copy().node_id == NodeId("p", 7)
+
+    def test_copy_clears_parent(self):
+        parent = element("a", element("b"))
+        clone = parent.element_children[0].copy()
+        assert clone.parent is None
+
+    def test_copy_without_ids(self):
+        root = element("a", element("b"))
+        NodeIdAllocator("p").assign(root)
+        stripped = root.copy_without_ids()
+        assert all(e.node_id is None for e in iter_elements(stripped))
+
+
+class TestTraversal:
+    def test_iter_nodes_preorder(self):
+        root = element("a", element("b", "t"), element("c"))
+        kinds = [
+            n.tag if isinstance(n, Element) else "#" for n in iter_nodes(root)
+        ]
+        assert kinds == ["a", "b", "#", "c"]
+
+    def test_tree_size_counts_text(self):
+        assert tree_size(element("a", "x", element("b"))) == 3
+
+    def test_find_by_id(self):
+        root = element("a", element("b"))
+        target = root.element_children[0]
+        target.node_id = NodeId("p", 5)
+        assert find_by_id(root, NodeId("p", 5)) is target
+        assert find_by_id(root, NodeId("p", 6)) is None
+
+    def test_find_first(self):
+        root = element("a", element("b"), element("c", attrs={"hit": "1"}))
+        found = find_first(root, lambda e: "hit" in e.attrs)
+        assert found.tag == "c"
+        assert find_first(root, lambda e: e.tag == "zz") is None
+
+
+class TestSizeAccounting:
+    def test_text_size_is_utf8_bytes(self):
+        assert text("abc").serialized_size() == 3
+        assert text("é").serialized_size() == 2
+
+    def test_element_size_grows_with_content(self):
+        small = element("a")
+        big = element("a", element("b", "some text content here"))
+        assert big.serialized_size() > small.serialized_size()
+
+    def test_size_close_to_serialization(self):
+        from repro.xmlcore import serialize
+
+        e = element("catalog", *[
+            element("item", element("name", f"n{i}"), attrs={"id": str(i)})
+            for i in range(20)
+        ])
+        actual = len(serialize(e).encode("utf-8"))
+        approx = e.serialized_size()
+        assert abs(actual - approx) / actual < 0.25

@@ -1,0 +1,143 @@
+"""Unit tests for the logical algebra (repro.xquery.algebra)."""
+
+import pytest
+
+from repro.errors import XQueryError
+from repro.xquery import parse_query
+from repro.xquery.algebra import (
+    Aggregate,
+    Construct,
+    Estimate,
+    Navigate,
+    OrderBy,
+    Scan,
+    Select,
+    SourceStats,
+    compile_query,
+    explain,
+)
+
+
+def plan_of(source, data_param=None):
+    return compile_query(parse_query(source), data_param)
+
+
+FULL_QUERY = (
+    "declare variable $d external; "
+    "for $i in $d//item where $i/price > 3 "
+    "order by $i/name return <r>{$i/name}</r>"
+)
+
+
+class TestCompile:
+    def test_full_pipeline_shape(self):
+        plan = plan_of(FULL_QUERY)
+        labels = []
+        node = plan
+        while node is not None:
+            labels.append(type(node).__name__)
+            node = getattr(node, "input", None)
+        assert labels == ["Construct", "OrderBy", "Select", "Navigate", "Scan"]
+
+    def test_scan_variable(self):
+        plan = plan_of("for $x in $src return $x")
+        node = plan
+        while getattr(node, "input", None) is not None:
+            node = node.input
+        assert isinstance(node, Scan) and node.variable == "src"
+
+    def test_no_where_no_select(self):
+        plan = plan_of("for $i in $d//item return $i")
+        node = plan
+        while node is not None:
+            assert not isinstance(node, Select)
+            node = getattr(node, "input", None)
+
+    def test_aggregate_detected(self):
+        plan = plan_of("for $i in $d//item return count($i)")
+        assert isinstance(plan, Aggregate)
+
+    def test_let_clauses_tolerated(self):
+        plan = plan_of(
+            "for $i in $d//item let $n := $i/name where $i/price > 1 return $n"
+        )
+        assert isinstance(plan, Construct)
+
+    def test_wrong_data_param_rejected(self):
+        with pytest.raises(XQueryError, match="ranges over"):
+            plan_of("for $i in $other//item return $i", data_param="d")
+
+    def test_non_flwor_rejected(self):
+        with pytest.raises(XQueryError, match="FLWOR"):
+            plan_of("count($d//item)")
+
+    def test_multiple_for_rejected(self):
+        with pytest.raises(XQueryError, match="one leading"):
+            plan_of("for $a in $d/x, $b in $d/y return $a")
+
+    def test_computed_source_rejected(self):
+        with pytest.raises(XQueryError, match="source"):
+            plan_of("for $i in (1, 2, 3) return $i")
+
+
+class TestEstimates:
+    STATS = SourceStats(cardinality=1000, item_bytes=200)
+
+    def test_scan_matches_stats(self):
+        estimate = Scan("d").estimate(self.STATS)
+        assert estimate.cardinality == 1000
+        assert estimate.item_bytes == 200
+
+    def test_select_reduces_cardinality(self):
+        plan = Select(Scan("d"), "p > 3", predicate_selectivity=0.1)
+        assert plan.estimate(self.STATS).cardinality == pytest.approx(100)
+
+    def test_equality_pickier_than_range(self):
+        eq_plan = plan_of("for $i in $d//item where $i/k = 'x' return $i")
+        range_plan = plan_of("for $i in $d//item where $i/k > 'x' return $i")
+        assert eq_plan.estimate(self.STATS).cardinality < range_plan.estimate(
+            self.STATS
+        ).cardinality
+
+    def test_construct_shrinks_projection(self):
+        projected = plan_of("for $i in $d//item where $i/p > 1 return $i/name")
+        whole = plan_of("for $i in $d//item where $i/p > 1 return $i")
+        assert projected.estimate(self.STATS).item_bytes < whole.estimate(
+            self.STATS
+        ).item_bytes
+
+    def test_aggregate_collapses(self):
+        plan = plan_of("for $i in $d//item return sum($i/p)")
+        estimate = plan.estimate(self.STATS)
+        assert estimate.cardinality == 1.0
+        assert estimate.total_bytes < 100
+
+    def test_orderby_neutral(self):
+        plan = OrderBy(Scan("d"), ("k",))
+        assert plan.estimate(self.STATS) == Scan("d").estimate(self.STATS)
+
+    def test_selectivity_bounded(self):
+        plan = plan_of(FULL_QUERY)
+        fraction = plan.selectivity(self.STATS)
+        assert 0.0 < fraction <= 1.0
+
+    def test_selectivity_of_aggregate_near_zero(self):
+        plan = plan_of("for $i in $d//item return count($i)")
+        assert plan.selectivity(self.STATS) < 0.01
+
+
+class TestExplain:
+    def test_mentions_all_operators(self):
+        text = explain(plan_of(FULL_QUERY))
+        for token in ("Construct", "OrderBy", "Select", "Navigate", "Scan"):
+            assert token in text
+
+    def test_cardinalities_rendered(self):
+        text = explain(plan_of(FULL_QUERY), SourceStats(cardinality=400))
+        assert "~400 items" in text
+        assert "~100 items" in text  # after the 0.25-selectivity select
+
+    def test_indentation_increases(self):
+        lines = explain(plan_of(FULL_QUERY)).splitlines()
+        indents = [len(line) - len(line.lstrip()) for line in lines]
+        assert indents == sorted(indents)

@@ -1,0 +1,199 @@
+"""Unit tests for query decomposition (rule 11 / Example 1)."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.xmlcore import element, equivalent, parse, serialize
+from repro.xquery import Query
+from repro.xquery.decompose import (
+    ENVELOPE_TAG,
+    compose,
+    free_variables,
+    push_selection,
+)
+from repro.xquery.parser import parse_expression
+
+
+@pytest.fixture()
+def catalog():
+    return parse(
+        "<catalog>"
+        + "".join(
+            f"<item><name>n{i}</name><price>{i}</price></item>"
+            for i in range(20)
+        )
+        + "</catalog>"
+    )
+
+
+def results_equal(a, b):
+    return len(a) == len(b) and all(equivalent(x, y) for x, y in zip(a, b))
+
+
+class TestFreeVariables:
+    def test_simple(self):
+        assert free_variables(parse_expression("$a + $b")) == {"a", "b"}
+
+    def test_flwor_binds(self):
+        expr = parse_expression("for $x in $d return $x + $y")
+        assert free_variables(expr) == {"d", "y"}
+
+    def test_let_binds(self):
+        expr = parse_expression("let $x := $d return $x")
+        assert free_variables(expr) == {"d"}
+
+    def test_positional_binds(self):
+        expr = parse_expression("for $x at $i in $d return $i")
+        assert free_variables(expr) == {"d"}
+
+    def test_quantifier_scope(self):
+        expr = parse_expression("some $x in $d satisfies $x = $y")
+        assert free_variables(expr) == {"d", "y"}
+
+    def test_nested_constructor(self):
+        expr = parse_expression("<a>{$v}</a>")
+        assert free_variables(expr) == {"v"}
+
+
+class TestPushSelection:
+    def test_basic_split_equivalence(self, catalog):
+        q = Query(
+            "for $i in $d//item where $i/price > 15 return <hit>{$i/name/text()}</hit>",
+            params=("d",),
+            name="q",
+        )
+        dec = push_selection(q)
+        direct = q(catalog)
+        (envelope,) = dec.inner(catalog)
+        assert envelope.tag == ENVELOPE_TAG
+        split = dec.outer(envelope)
+        assert results_equal(direct, split)
+
+    def test_inner_contains_only_selected(self, catalog):
+        q = Query(
+            "for $i in $d//item where $i/price > 17 return $i",
+            params=("d",),
+        )
+        (envelope,) = push_selection(q).inner(catalog)
+        assert len(envelope.element_children) == 2
+
+    def test_with_order_by(self, catalog):
+        q = Query(
+            "for $i in $d//item where $i/price > 14 "
+            "order by $i/price descending return $i/name",
+            params=("d",),
+        )
+        dec = push_selection(q)
+        direct = [serialize(x) for x in q(catalog)]
+        split = [serialize(x) for x in dec.outer(dec.inner(catalog)[0])]
+        assert direct == split
+
+    def test_with_let_after_for(self, catalog):
+        q = Query(
+            "for $i in $d//item let $n := $i/name where $i/price > 16 "
+            "return <r>{$n/text()}</r>",
+            params=("d",),
+        )
+        dec = push_selection(q)
+        assert results_equal(q(catalog), dec.outer(dec.inner(catalog)[0]))
+
+    def test_empty_selection(self, catalog):
+        q = Query(
+            "for $i in $d//item where $i/price > 999 return $i",
+            params=("d",),
+        )
+        dec = push_selection(q)
+        (envelope,) = dec.inner(catalog)
+        assert envelope.element_children == []
+        assert dec.outer(envelope) == []
+
+    def test_full_selection(self, catalog):
+        q = Query(
+            "for $i in $d//item where $i/price >= 0 return $i/name",
+            params=("d",),
+        )
+        dec = push_selection(q)
+        assert results_equal(q(catalog), dec.outer(dec.inner(catalog)[0]))
+
+    def test_explicit_data_param(self, catalog):
+        q = Query(
+            "for $i in $src//item where $i/price = 3 return $i",
+            params=("src",),
+        )
+        dec = push_selection(q, "src")
+        assert dec.data_param == "src"
+        assert results_equal(q(catalog), dec.outer(dec.inner(catalog)[0]))
+
+    def test_recompose_matches_original(self, catalog):
+        q = Query(
+            "for $i in $d//item where $i/price > 15 return $i/name",
+            params=("d",),
+            name="q",
+        )
+        dec = push_selection(q)
+        composed = dec.recompose()
+        assert results_equal(q(catalog), composed(catalog))
+
+
+class TestPushSelectionRejections:
+    def test_unknown_param(self):
+        q = Query("for $i in $d//item where $i/p > 1 return $i", params=("d",))
+        with pytest.raises(DecompositionError, match="unknown parameter"):
+            push_selection(q, "zz")
+
+    def test_no_params(self):
+        q = Query("1 + 1")
+        with pytest.raises(DecompositionError, match="no parameters"):
+            push_selection(q)
+
+    def test_non_flwor(self):
+        q = Query("count($d//item)", params=("d",))
+        with pytest.raises(DecompositionError, match="FLWOR"):
+            push_selection(q)
+
+    def test_no_where(self):
+        q = Query("for $i in $d//item return $i", params=("d",))
+        with pytest.raises(DecompositionError, match="where"):
+            push_selection(q)
+
+    def test_where_leaks_other_variable(self):
+        q = Query(
+            "for $i in $d//item let $t := 5 where $i/price > $t return $i",
+            params=("d",),
+        )
+        with pytest.raises(DecompositionError, match="references variables"):
+            push_selection(q)
+
+    def test_positional_predicate_not_pushed(self):
+        q = Query(
+            "for $i at $p in $d//item where $p > 2 return $i",
+            params=("d",),
+        )
+        with pytest.raises(DecompositionError, match="[Pp]ositional"):
+            push_selection(q)
+
+    def test_for_not_over_param(self):
+        q = Query(
+            "for $i in (1, 2, 3) where $i > 1 return $i", params=("d",)
+        )
+        with pytest.raises(DecompositionError, match="does not range over"):
+            push_selection(q)
+
+
+class TestCompose:
+    def test_compose_empty_rejected(self):
+        q = Query("for $x in $d return $x", params=("d",))
+        with pytest.raises(DecompositionError):
+            compose(q, [], "d")
+
+    def test_compose_runs(self, catalog):
+        outer = Query(
+            "for $i in $d/* return <o>{$i/name/text()}</o>", params=("d",)
+        )
+        inner = Query(
+            "<env>{for $i in $d//item where $i/price < 2 return $i}</env>",
+            params=("d",),
+        )
+        composed = compose(outer, [inner], "d")
+        result = composed(catalog)
+        assert [r.string_value() for r in result] == ["n0", "n1"]

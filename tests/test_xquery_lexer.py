@@ -1,0 +1,134 @@
+"""Unit tests for the XQuery lexer (repro.xquery.tokens)."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.tokens import Lexer, TokenType
+
+
+def tokens_of(source):
+    lexer = Lexer(source)
+    out = []
+    while True:
+        token = lexer.next()
+        if token.type == TokenType.EOF:
+            return out
+        out.append((token.type, token.value))
+
+
+class TestBasicTokens:
+    def test_names(self):
+        assert tokens_of("foo bar") == [("NAME", "foo"), ("NAME", "bar")]
+
+    def test_qname(self):
+        assert tokens_of("local:fn") == [("NAME", "local:fn")]
+
+    def test_qname_not_axis(self):
+        # 'child::a' must lex as NAME, '::', NAME — not a QName
+        assert tokens_of("child::a") == [
+            ("NAME", "child"), ("SYMBOL", "::"), ("NAME", "a")
+        ]
+
+    def test_variables(self):
+        assert tokens_of("$x $y2") == [("VARIABLE", "x"), ("VARIABLE", "y2")]
+
+    def test_variable_requires_name(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokens_of("$ 1")
+
+    def test_integers_and_decimals(self):
+        assert tokens_of("42 3.14 1e3 2.5E-2") == [
+            ("INTEGER", "42"),
+            ("DECIMAL", "3.14"),
+            ("DECIMAL", "1e3"),
+            ("DECIMAL", "2.5E-2"),
+        ]
+
+    def test_leading_dot_decimal(self):
+        assert tokens_of(".5") == [("DECIMAL", ".5")]
+
+    def test_digit_dotdot_is_range_ish(self):
+        assert tokens_of("1..") == [("INTEGER", "1"), ("SYMBOL", "..")]
+
+    def test_strings_double_and_single(self):
+        assert tokens_of("\"hi\" 'ho'") == [("STRING", "hi"), ("STRING", "ho")]
+
+    def test_string_doubled_quote_escape(self):
+        assert tokens_of('"a""b"') == [("STRING", 'a"b')]
+
+    def test_string_entities(self):
+        assert tokens_of('"&lt;&amp;&#65;"') == [("STRING", "<&A")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokens_of('"oops')
+
+    def test_unknown_entity_in_string(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokens_of('"&nope;"')
+
+
+class TestSymbols:
+    def test_multi_char_symbols_win(self):
+        assert tokens_of("// .. := != <= >= << >>") == [
+            ("SYMBOL", s) for s in ["//", "..", ":=", "!=", "<=", ">=", "<<", ">>"]
+        ]
+
+    def test_single_char_symbols(self):
+        values = [v for _, v in tokens_of("( ) [ ] { } , ; / . @ = < > | + - * ?")]
+        assert values == [
+            "(", ")", "[", "]", "{", "}", ",", ";", "/", ".", "@",
+            "=", "<", ">", "|", "+", "-", "*", "?",
+        ]
+
+    def test_assignment_after_name(self):
+        assert tokens_of("a := 1") == [
+            ("NAME", "a"), ("SYMBOL", ":="), ("INTEGER", "1")
+        ]
+
+
+class TestComments:
+    def test_simple_comment(self):
+        assert tokens_of("1 (: comment :) 2") == [
+            ("INTEGER", "1"), ("INTEGER", "2")
+        ]
+
+    def test_nested_comment(self):
+        assert tokens_of("(: a (: b :) c :) 7") == [("INTEGER", "7")]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokens_of("(: never ends")
+
+
+class TestLexerMechanics:
+    def test_peek_does_not_consume(self):
+        lexer = Lexer("a b")
+        assert lexer.peek().value == "a"
+        assert lexer.peek(1).value == "b"
+        assert lexer.next().value == "a"
+
+    def test_sync_to_discards_lookahead(self):
+        lexer = Lexer("abc def")
+        lexer.peek(1)
+        lexer.sync_to(4)
+        assert lexer.next().value == "def"
+
+    def test_token_positions(self):
+        lexer = Lexer("a\n  bb")
+        lexer.next()
+        token = lexer.next()
+        assert (token.line, token.column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokens_of("#")
+
+    def test_is_name_and_is_symbol_helpers(self):
+        lexer = Lexer("for +")
+        token = lexer.next()
+        assert token.is_name("for", "let")
+        assert not token.is_symbol("+")
+        plus = lexer.next()
+        assert plus.is_symbol("+", "-")
+        assert not plus.is_name("for")
