@@ -1,12 +1,14 @@
-"""E12 — the optimizer: greedy vs bounded best-first search.
+"""E12 — the optimizer: greedy vs beam search vs bounded exhaustive.
 
 Workload: the composite plan from Example 1 on a slow network where
-optimization genuinely matters.  Compares the two search strategies on
-plan quality (measured cost of the chosen plan), plans explored, and
-search wall time, across search depths.
+optimization genuinely matters.  Compares the registered search
+strategies — through the `Session` façade, the same way users invoke
+them — on plan quality (measured cost of the chosen plan), plans
+explored, and search wall time, across search depths.
 
-Expected shape: both strategies beat the naive plan; best-first explores
-more and never loses to greedy on plan quality; extra depth has
+Expected shape: every strategy beats the naive plan; beam search
+explores more and never loses to greedy on plan quality; exhaustive
+enumeration explores the most and never loses to beam; extra depth has
 diminishing returns once the main rewrites (delegate/push) are applied.
 """
 
@@ -14,17 +16,10 @@ import time
 
 import pytest
 
-from repro.core import (
-    DocExpr,
-    Optimizer,
-    Plan,
-    QueryApply,
-    QueryRef,
-    measure,
-)
+from repro.core import DocExpr, Plan, QueryApply, QueryRef, measure
 from repro.xquery import Query
 
-from common import emit, format_table, make_catalog
+from common import emit, format_table, make_catalog, session_for
 from repro.peers import AXMLSystem
 
 
@@ -46,32 +41,40 @@ def build():
     return system, plan
 
 
+def explain_with(system, plan, strategy, **options):
+    """Time one strategy's search through the façade; returns (report, ms)."""
+    session = session_for(system, strategy=strategy, strategy_options=options)
+    started = time.perf_counter()
+    report = session.explain(plan)
+    elapsed = (time.perf_counter() - started) * 1000
+    return report, elapsed
+
+
 def run_sweep():
     system, plan = build()
     rows = []
     naive_cost = measure(plan, system)
     rows.append(("naive", "-", naive_cost.scalar() * 1000, 1, 0.0))
 
-    started = time.perf_counter()
-    greedy = Optimizer(system).optimize_greedy(plan)
-    greedy_ms = (time.perf_counter() - started) * 1000
+    greedy, greedy_ms = explain_with(system, plan, "greedy")
     rows.append(
         ("greedy", "-", greedy.best_cost.scalar() * 1000, greedy.explored, greedy_ms)
     )
 
     for depth in (1, 2, 3):
-        started = time.perf_counter()
-        result = Optimizer(system).optimize(plan, depth=depth, beam=8)
-        elapsed = (time.perf_counter() - started) * 1000
+        report, elapsed = explain_with(system, plan, "beam", depth=depth, beam=8)
         rows.append(
-            (
-                "best-first",
-                depth,
-                result.best_cost.scalar() * 1000,
-                result.explored,
-                elapsed,
-            )
+            ("beam", depth, report.best_cost.scalar() * 1000,
+             report.explored, elapsed)
         )
+
+    exhaustive, exhaustive_ms = explain_with(
+        system, plan, "exhaustive", depth=3, max_plans=512
+    )
+    rows.append(
+        ("exhaustive", 3, exhaustive.best_cost.scalar() * 1000,
+         exhaustive.explored, exhaustive_ms)
+    )
     return rows
 
 
@@ -88,16 +91,23 @@ def test_e12_optimizer(benchmark):
 
     naive_cost = rows[0][2]
     greedy_cost = rows[1][2]
-    depth_costs = [row[2] for row in rows[2:]]
+    depth_costs = [row[2] for row in rows[2:5]]
+    exhaustive_cost = rows[5][2]
+    exhaustive_explored = rows[5][3]
     assert greedy_cost < naive_cost           # optimization helps at all
     assert min(depth_costs) <= greedy_cost * 1.001  # search >= greedy quality
     assert depth_costs == sorted(depth_costs, reverse=True) or (
         max(depth_costs) - min(depth_costs) < naive_cost * 0.5
     )  # deeper search never worse (allowing plateaus)
+    assert exhaustive_cost <= min(depth_costs) * 1.001  # the quality yardstick
+    assert exhaustive_explored >= max(row[3] for row in rows[2:5])
 
     system, plan = build()
+    session = session_for(
+        system, strategy="beam", strategy_options={"depth": 2, "beam": 6}
+    )
     benchmark.pedantic(
-        lambda: Optimizer(system).optimize(plan, depth=2, beam=6),
+        lambda: session.explain(plan),
         rounds=3,
         iterations=1,
     )

@@ -15,6 +15,7 @@ from __future__ import annotations
 import os
 from typing import Iterable, List, Sequence
 
+from repro import Session, connect
 from repro.peers import AXMLSystem
 from repro.xmlcore import Element, parse
 
@@ -51,6 +52,15 @@ def client_data_system(
     )
     system.peer("data").install_document("cat", make_catalog(n_items))
     return system
+
+
+def session_for(system: AXMLSystem, strategy: str = "beam", **kwargs) -> Session:
+    """The benches' entry into the pipeline: one façade, any strategy.
+
+    Thin wrapper over :func:`repro.connect` so every bench names its
+    search strategy the same way the documented API does.
+    """
+    return connect(system, strategy=strategy, **kwargs)
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:

@@ -13,6 +13,10 @@ and contrasts the two continuous-query execution modes benchmarked in E8:
 incremental (per-delta) versus re-evaluation (whole-history re-run) —
 same answers, very different work.
 
+(Streams sit *below* the request/report layer, so this example drives the
+core evaluator directly rather than the `repro.connect` Session façade —
+one-shot query pipelines belong there, continuous pipelines here.)
+
 Run:  python examples/continuous_dashboard.py
 """
 

@@ -18,20 +18,10 @@ Scenario:
 Run:  python examples/edos_distribution.py
 """
 
+import repro
 from repro.axml import StreamChannel
-from repro.core import (
-    DocExpr,
-    ExpressionEvaluator,
-    GenericDoc,
-    Optimizer,
-    Plan,
-    QueryApply,
-    QueryRef,
-    measure,
-)
 from repro.peers import AXMLSystem, NearestPolicy
 from repro.xmlcore import parse
-from repro.xquery import Query
 
 N_PACKAGES = 400
 
@@ -72,13 +62,10 @@ def build_world() -> AXMLSystem:
     return system
 
 
-def dependency_query(client: str) -> Query:
-    return Query(
-        "for $p in $d//pkg where $p/section = 'apps' "
-        "return <candidate name='{$p/name}' size='{$p/size}'/>",
-        params=("d",),
-        name=f"deps-{client}",
-    )
+DEPENDENCY_QUERY = (
+    "for $p in $d//pkg where $p/section = 'apps' "
+    "return <candidate name='{$p/name}' size='{$p/size}'/>"
+)
 
 
 def main() -> None:
@@ -89,27 +76,27 @@ def main() -> None:
     print("mirrors equivalent:", consistent)
 
     print("\n== per-client resolution (generic document + nearest pick) ==")
-    for client in ("alice", "bob"):
-        plan = Plan(
-            QueryApply(
-                QueryRef(dependency_query(client), client),
-                (GenericDoc("packages"),),
-            ),
-            client,
-        )
-        naive_cost = measure(plan, system, NearestPolicy())
-        result = Optimizer(
-            system,
-            cost_fn=lambda p: measure(p, system, NearestPolicy()),
-        ).optimize(plan, depth=2, beam=4)
+    # One session, one pick policy; each client's resolution is a batch
+    # entry binding $d to the *generic* document packages@any (def. (9)).
+    session = repro.connect(
+        system,
+        pick_policy=NearestPolicy(),
+        strategy="beam",
+        strategy_options={"depth": 2, "beam": 4},
+    )
+    reports = session.batch(
+        [
+            {"source": DEPENDENCY_QUERY, "at": client,
+             "bind": {"d": "packages@any"}, "name": f"deps-{client}"}
+            for client in ("alice", "bob")
+        ]
+    )
+    for client, report in zip(("alice", "bob"), reports):
         print(
-            f"{client:6s} naive {naive_cost.describe():>32s}   "
-            f"optimized {result.best_cost.describe():>30s}"
+            f"{client:6s} naive {report.original_cost.describe():>32s}   "
+            f"optimized {report.best_cost.describe():>30s}"
         )
-        outcome = ExpressionEvaluator(system.clone(), NearestPolicy()).eval(
-            result.best.expr, result.best.site
-        )
-        print(f"       {len(outcome.items)} candidate packages resolved")
+        print(f"       {len(report.items)} candidate packages resolved")
 
     print("\n== continuous update feed ==")
     channel = StreamChannel("pkg-updates", "hub", system)

@@ -9,7 +9,9 @@ version of the paper's rule catalogue.
 Run:  python examples/optimizer_tour.py
 """
 
+from repro import Session
 from repro.core import (
+    BeamSearchStrategy,
     DelegateExpression,
     DocDest,
     DocExpr,
@@ -25,8 +27,6 @@ from repro.core import (
     ServiceCallExpr,
     TransferReuse,
     TreeExpr,
-    check_equivalence,
-    measure,
 )
 from repro.peers import AXMLSystem
 from repro.xmlcore import element, parse
@@ -67,22 +67,31 @@ def selection_query():
 
 
 def show(rule, plan, system):
+    """One report per rule: a single-rule, depth-1 session explains the
+    plan, so the trace lists exactly the alternatives that rule proposes.
+
+    With ``verify=True`` every kept rewrite is machine-checked ≡ the
+    original — a non-equivalent proposal would be dropped from the trace
+    (and a `≠(!)` would never survive into the report).
+    """
+    session = Session(
+        system,
+        strategy=BeamSearchStrategy(depth=1, beam=16),
+        rules=[rule],
+        verify=True,
+        trace=True,
+    )
+    report = session.explain(plan)
     print(f"\n=== {rule.name} ===")
-    print(f"  naive: {plan.describe()}")
-    print(f"         {measure(plan, system).describe()}")
-    rewrites = rule.apply(plan, system)
-    if not rewrites:
-        print("  (rule does not match this plan)")
+    if report.explored == 1:
+        print(f"  naive: {plan.describe()}")
+        if rule.apply(plan, system):
+            # matched, but every proposal was unevaluable or non-equivalent
+            print("  (no rewrite survived scoring/verification)")
+        else:
+            print("  (rule does not match this plan)")
         return
-    for rewrite in rewrites:
-        try:
-            cost = measure(rewrite.plan, system)
-        except Exception as exc:
-            print(f"  -> {rewrite.note}: not evaluable ({exc})")
-            continue
-        verdict = check_equivalence(plan, rewrite.plan, system)
-        mark = "≡" if verdict.equivalent else "≠(!)"
-        print(f"  -> {rewrite.note:32s} {cost.describe():>32s}  {mark}")
+    print(report.describe(include_trace=True))
 
 
 def main():

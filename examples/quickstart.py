@@ -1,30 +1,24 @@
 #!/usr/bin/env python3
 """Quickstart: distributed XML querying with algebraic optimization.
 
-This walks the paper's core loop in ~60 lines of user code:
+The paper's core loop — declare a query over remote AXML data, rewrite
+it with equivalence rules (10)–(16), cost the alternatives, run the
+cheapest — is one `Session` call:
 
 1. build a small peer system (a laptop and a data server);
 2. install an XML document on the server;
-3. write the naive plan — "apply my query to that remote document";
-4. let the optimizer rewrite it with the paper's equivalence rules;
-5. run both, compare answers (identical) and costs (not identical).
+3. `repro.connect(system).query(...)` — the session parses the query,
+   builds the naive plan, optimizes, machine-verifies the rewrite, and
+   evaluates it;
+4. the returned `ExecutionReport` carries answers, plans, costs and
+   per-peer traffic in one object.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import (
-    DocExpr,
-    ExpressionEvaluator,
-    Optimizer,
-    Plan,
-    QueryApply,
-    QueryRef,
-    check_equivalence,
-    measure,
-)
+import repro
 from repro.peers import AXMLSystem
-from repro.xmlcore import parse, serialize
-from repro.xquery import Query
+from repro.xmlcore import parse
 
 
 def build_system() -> AXMLSystem:
@@ -49,34 +43,19 @@ def main() -> None:
     system = build_system()
 
     # A query defined at the laptop, over data living at the server.
-    query = Query(
+    session = repro.connect(system, verify=True)
+    report = session.query(
         "for $i in $d//item where $i/price > 495 "
         "return <expensive>{$i/name/text()}</expensive>",
-        params=("d",),
+        at="laptop",
+        bind={"d": "catalog@server"},
         name="expensive-items",
     )
-    naive = Plan(
-        QueryApply(QueryRef(query, "laptop"), (DocExpr("catalog", "server"),)),
-        "laptop",
-    )
 
-    print("naive plan:     ", naive.describe())
-    naive_cost = measure(naive, system)
-    print("naive cost:     ", naive_cost.describe())
-
-    result = Optimizer(system).optimize(naive, depth=2, beam=6)
-    print("optimized plan: ", result.best.describe())
-    print("optimized cost: ", result.best_cost.describe())
-    print(f"improvement:     x{result.improvement:.1f} "
-          f"({naive_cost.bytes}B -> {result.best_cost.bytes}B shipped)")
-
-    verdict = check_equivalence(naive, result.best, system)
-    print("equivalent?     ", verdict.equivalent, f"({verdict.reason})")
-
-    outcome = ExpressionEvaluator(system.clone()).eval(
-        result.best.expr, result.best.site
-    )
-    print("answers:        ", ", ".join(serialize(i) for i in outcome.items))
+    print(report.describe())
+    print(f"shipped:     {report.original_cost.bytes}B -> "
+          f"{report.best_cost.bytes}B")
+    print("answers:    ", ", ".join(report.answers))
 
 
 if __name__ == "__main__":

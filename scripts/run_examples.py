@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Smoke-run every script in examples/ and report pass/fail.
+
+Used as the CI examples gate: exits non-zero if any example fails.
+
+Run:  python scripts/run_examples.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC_DIR, env.get("PYTHONPATH")) if p
+    )
+    scripts = sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    )
+    if not scripts:
+        print("no example scripts found", file=sys.stderr)
+        return 1
+    failures = []
+    for name in scripts:
+        started = time.perf_counter()
+        result = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=env,
+        )
+        elapsed = time.perf_counter() - started
+        status = "ok" if result.returncode == 0 else "FAIL"
+        print(f"{status:4s} {name:32s} ({elapsed:.1f}s)")
+        if result.returncode != 0:
+            failures.append(name)
+            sys.stderr.write(result.stderr)
+    if failures:
+        print(f"\n{len(failures)}/{len(scripts)} examples failed: {failures}")
+        return 1
+    print(f"\nall {len(scripts)} examples passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,25 +1,59 @@
 """repro — a reproduction of "A Framework for Distributed XML Data
 Management" (Abiteboul, Manolescu, Taropa; EDBT 2006).
 
-The package implements, from scratch:
+The documented top-level API is the session façade::
+
+    import repro
+
+    session = repro.connect(system, strategy="greedy", verify=True)
+    report = session.query(
+        "for $i in $d//item where $i/price > 495 return $i/name",
+        at="laptop", bind={"d": "catalog@server"},
+    )
+    print(report.describe())     # answers, chosen plan, costs, per-peer stats
+
+:func:`connect` opens a :class:`~repro.session.Session` that owns the
+whole pipeline — parse the XQuery text, build the naive plan, rewrite it
+with the paper's equivalence rules (10)–(16) under a pluggable optimizer
+strategy (``"beam"``, ``"greedy"``, ``"exhaustive"``, or your own via
+:func:`repro.core.register_strategy`), machine-verify the chosen rewrite,
+evaluate it — and returns a structured
+:class:`~repro.session.ExecutionReport`.
+
+Underneath, the package implements, from scratch:
 
 * :mod:`repro.xmlcore` — XML data model, parser, serializer, unordered
   canonical forms, schema-lite types;
 * :mod:`repro.xquery` — an XQuery-subset engine (FLWOR, paths,
   constructors, 60+ builtins) with query composition/decomposition;
 * :mod:`repro.net` — a discrete-event network simulator with
-  byte-accurate message accounting;
+  byte-accurate message accounting and per-peer traffic attribution;
 * :mod:`repro.peers` — peers hosting documents and services, generic
   name registry with pick policies, the system state Σ;
 * :mod:`repro.axml` — AXML documents with embedded service calls,
   activation modes, continuous streams;
 * :mod:`repro.core` — the paper's contribution: the expression algebra
   E, eval definitions (1)–(9), equivalence rules (10)–(16), cost model,
-  optimizer, and machine-checked equivalence verification.
+  strategy-driven optimizer, and machine-checked equivalence
+  verification.
 
 Start with ``examples/quickstart.py`` or the README.
 """
 
-__version__ = "1.0.0"
+from .session import ExecutionReport, Session, connect
 
-__all__ = ["xmlcore", "xquery", "net", "peers", "axml", "core", "errors"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "connect",
+    "Session",
+    "ExecutionReport",
+    "xmlcore",
+    "xquery",
+    "net",
+    "peers",
+    "axml",
+    "core",
+    "errors",
+    "session",
+]

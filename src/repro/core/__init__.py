@@ -46,6 +46,16 @@ from .expressions import (
     walk,
 )
 from .optimizer import OptimizationResult, Optimizer
+from .strategies import (
+    BeamSearchStrategy,
+    ExhaustiveStrategy,
+    GreedyStrategy,
+    OptimizerStrategy,
+    SearchSpace,
+    available_strategies,
+    make_strategy,
+    register_strategy,
+)
 from .rules import (
     DEFAULT_RULES,
     DelegateExpression,
@@ -82,6 +92,10 @@ __all__ = [
     # cost / optimizer
     "Cost", "Statistics", "CostEstimator", "measure",
     "Optimizer", "OptimizationResult",
+    # strategies
+    "OptimizerStrategy", "SearchSpace", "BeamSearchStrategy",
+    "GreedyStrategy", "ExhaustiveStrategy", "register_strategy",
+    "available_strategies", "make_strategy",
     # serialization
     "to_xml", "from_xml", "expression_to_text", "expression_from_text",
     "expression_size",

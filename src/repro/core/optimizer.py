@@ -1,61 +1,43 @@
 """Rule-driven plan search (the "optimization methodology" of Section 3).
 
-The optimizer enumerates alternative plans by applying equivalence rules
-(:mod:`repro.core.rules`), scores each with a cost function
-(:mod:`repro.core.cost`), and returns the cheapest.  Two strategies:
+The search algorithms themselves live in :mod:`repro.core.strategies`
+behind the :class:`~repro.core.strategies.OptimizerStrategy` protocol;
+this module keeps the historical :class:`Optimizer` entry points as thin
+delegating wrappers:
 
-* :meth:`Optimizer.optimize` — bounded best-first search: keeps a beam
-  of the cheapest frontier plans, expands each with every rule, stops at
-  the depth bound or when no rewrite improves;
-* :meth:`Optimizer.optimize_greedy` — hill climbing: repeatedly take the
-  single best improving rewrite; linear and good enough when rules
-  compose monotonically (E12 quantifies the gap).
+* :meth:`Optimizer.optimize` — bounded best-first search
+  (:class:`~repro.core.strategies.BeamSearchStrategy`);
+* :meth:`Optimizer.optimize_greedy` — hill climbing
+  (:class:`~repro.core.strategies.GreedyStrategy`);
+* :meth:`Optimizer.optimize_with` — any strategy, by registered name or
+  instance (also covers the bounded
+  :class:`~repro.core.strategies.ExhaustiveStrategy`).
 
 Every explored plan can optionally be *verified* equivalent to the
 original on a sample state (``verify=True``), turning the paper's
-on-paper equivalences into machine-checked ones.
+on-paper equivalences into machine-checked ones.  New code should prefer
+the :class:`repro.session.Session` façade, which wraps this search in a
+full parse → optimize → verify → evaluate pipeline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Union
 
-from ..errors import OptimizerError
 from ..peers.system import AXMLSystem
-from .cost import Cost, measure
-from .rules import DEFAULT_RULES, Plan, Rewrite, RewriteRule
+from .cost import Cost
+from .rules import DEFAULT_RULES, Plan, RewriteRule
+from .strategies import (
+    BeamSearchStrategy,
+    CostFn,
+    GreedyStrategy,
+    OptimizationResult,
+    OptimizerStrategy,
+    SearchSpace,
+    make_strategy,
+)
 
 __all__ = ["OptimizationResult", "Optimizer"]
-
-CostFn = Callable[[Plan], Cost]
-
-
-@dataclass
-class OptimizationResult:
-    """Best plan found plus the search trace."""
-
-    best: Plan
-    best_cost: Cost
-    original_cost: Cost
-    explored: int
-    #: (plan, cost, producing rule) for everything scored, best first.
-    trace: List[Tuple[Plan, Cost, str]] = field(default_factory=list)
-
-    @property
-    def improvement(self) -> float:
-        """Scalar cost ratio original/best (>1 means the optimizer won)."""
-        best = self.best_cost.scalar()
-        return self.original_cost.scalar() / best if best > 0 else float("inf")
-
-    def describe(self) -> str:
-        lines = [
-            f"original: {self.original_cost.describe()}",
-            f"best:     {self.best_cost.describe()}  (x{self.improvement:.2f})",
-            f"explored: {self.explored} plans",
-            f"plan:     {self.best.describe()}",
-        ]
-        return "\n".join(lines)
 
 
 class Optimizer:
@@ -70,27 +52,33 @@ class Optimizer:
     ) -> None:
         self.system = system
         self.rules = list(rules)
-        self.cost_fn: CostFn = cost_fn or (lambda plan: measure(plan, system))
+        self.cost_fn: Optional[CostFn] = cost_fn
         self.verifier = verifier
 
-    # -- helpers -------------------------------------------------------------
-    def _expand(self, plan: Plan) -> List[Rewrite]:
-        rewrites: List[Rewrite] = []
-        for rule in self.rules:
-            try:
-                rewrites.extend(rule.apply(plan, self.system))
-            except Exception:
-                # a rule failing to match/apply must never kill the search
-                continue
-        return rewrites
+    # -- search space ----------------------------------------------------------
+    def search_space(self, verify: bool = False) -> SearchSpace:
+        """The rewrite space strategies search (see :class:`SearchSpace`)."""
+        return SearchSpace(
+            self.system,
+            rules=self.rules,
+            cost_fn=self.cost_fn,
+            verifier=self.verifier,
+            verify=verify,
+        )
 
-    def _score(self, plan: Plan) -> Optional[Cost]:
-        try:
-            return self.cost_fn(plan)
-        except Exception:
-            return None  # unevaluable candidate (e.g. undefined send)
+    # -- strategy entry points -------------------------------------------------
+    def optimize_with(
+        self,
+        strategy: Union[str, OptimizerStrategy],
+        plan: Plan,
+        verify: bool = False,
+        **options,
+    ) -> OptimizationResult:
+        """Run ``plan`` through a strategy named in the registry (or given)."""
+        return make_strategy(strategy, **options).search(
+            plan, self.search_space(verify)
+        )
 
-    # -- exhaustive/beam ---------------------------------------------------------
     def optimize(
         self,
         plan: Plan,
@@ -104,79 +92,14 @@ class Optimizer:
         frontier plans survive per level.  ``verify`` re-checks each kept
         candidate for state equivalence with the original (slow, sound).
         """
-        original_cost = self._score(plan)
-        if original_cost is None:
-            raise OptimizerError("the original plan is not evaluable")
-        seen: Dict[str, Cost] = {plan.describe(): original_cost}
-        trace: List[Tuple[Plan, Cost, str]] = [(plan, original_cost, "original")]
-        frontier: List[Tuple[Cost, Plan]] = [(original_cost, plan)]
-        best_plan, best_cost = plan, original_cost
-        explored = 1
-
-        for _ in range(depth):
-            candidates: List[Tuple[Cost, Plan, str]] = []
-            for _, current in frontier:
-                for rewrite in self._expand(current):
-                    key = rewrite.plan.describe()
-                    if key in seen:
-                        continue
-                    cost = self._score(rewrite.plan)
-                    if cost is None:
-                        continue
-                    if verify and self.verifier is not None:
-                        if not self.verifier(plan, rewrite.plan):
-                            continue
-                    seen[key] = cost
-                    explored += 1
-                    candidates.append((cost, rewrite.plan, rewrite.rule))
-                    trace.append((rewrite.plan, cost, rewrite.rule))
-            if not candidates:
-                break
-            candidates.sort(key=lambda entry: entry[0].scalar())
-            frontier = [(cost, candidate) for cost, candidate, _ in candidates[:beam]]
-            if frontier[0][0] < best_cost:
-                best_cost, best_plan = frontier[0]
-
-        trace.sort(key=lambda entry: entry[1].scalar())
-        return OptimizationResult(
-            best=best_plan,
-            best_cost=best_cost,
-            original_cost=original_cost,
-            explored=explored,
-            trace=trace,
+        return BeamSearchStrategy(depth=depth, beam=beam).search(
+            plan, self.search_space(verify)
         )
 
-    # -- greedy ---------------------------------------------------------------------
     def optimize_greedy(
         self, plan: Plan, max_steps: int = 8
     ) -> OptimizationResult:
         """Hill climbing: take the single cheapest improving rewrite."""
-        original_cost = self._score(plan)
-        if original_cost is None:
-            raise OptimizerError("the original plan is not evaluable")
-        current, current_cost = plan, original_cost
-        trace: List[Tuple[Plan, Cost, str]] = [(plan, original_cost, "original")]
-        explored = 1
-        for _ in range(max_steps):
-            best_step: Optional[Tuple[Cost, Plan, str]] = None
-            for rewrite in self._expand(current):
-                cost = self._score(rewrite.plan)
-                if cost is None:
-                    continue
-                explored += 1
-                trace.append((rewrite.plan, cost, rewrite.rule))
-                if cost < current_cost and (
-                    best_step is None or cost < best_step[0]
-                ):
-                    best_step = (cost, rewrite.plan, rewrite.rule)
-            if best_step is None:
-                break
-            current_cost, current, _ = best_step
-        trace.sort(key=lambda entry: entry[1].scalar())
-        return OptimizationResult(
-            best=current,
-            best_cost=current_cost,
-            original_cost=original_cost,
-            explored=explored,
-            trace=trace,
+        return GreedyStrategy(max_steps=max_steps).search(
+            plan, self.search_space(False)
         )

@@ -135,3 +135,11 @@ class RewriteError(AlgebraError):
 
 class OptimizerError(AlgebraError):
     """Raised when plan search fails (no plan, budget exhausted, etc.)."""
+
+
+class SessionError(ReproError):
+    """Raised for misuse of the high-level :class:`repro.session.Session`.
+
+    Examples: a binding string without a ``name@peer`` shape, a batch
+    request of an unsupported type, or ``connect()`` without a system.
+    """

@@ -9,7 +9,7 @@
 
 from . import topology
 from .message import Message, MessageKind
-from .network import Link, LinkStats, Network, NetworkStats
+from .network import Link, LinkStats, Network, NetworkStats, PeerTraffic
 
 __all__ = [
     "topology",
@@ -19,4 +19,5 @@ __all__ = [
     "LinkStats",
     "Network",
     "NetworkStats",
+    "PeerTraffic",
 ]

@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..errors import NetworkError, NoRouteError, UnknownPeerError
 from .message import Message, MessageKind
 
-__all__ = ["Link", "LinkStats", "NetworkStats", "Network"]
+__all__ = ["Link", "LinkStats", "NetworkStats", "PeerTraffic", "Network"]
 
 
 @dataclass
@@ -89,6 +89,28 @@ class NetworkStats:
 
     def snapshot(self) -> Dict[str, int]:
         return {"messages": self.messages, "bytes": self.bytes}
+
+
+@dataclass
+class PeerTraffic:
+    """Per-peer traffic totals aggregated from link statistics.
+
+    Counted per *hop* (store-and-forward relays are charged on every
+    link they occupy), so totals can exceed the per-message accounting
+    in :class:`NetworkStats` on multi-hop topologies.
+    """
+
+    sent_bytes: int = 0
+    sent_messages: int = 0
+    received_bytes: int = 0
+    received_messages: int = 0
+    link_busy_time: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"sent {self.sent_bytes}B/{self.sent_messages} msgs, "
+            f"recv {self.received_bytes}B/{self.received_messages} msgs"
+        )
 
 
 class Network:
@@ -225,6 +247,27 @@ class Network:
         message = Message(src, dst, kind, payload, headers or {})
         arrival = self.deliver(message, ready_at)
         return message, arrival
+
+    # -- reporting -----------------------------------------------------------------
+    def peer_traffic(self) -> Dict[str, PeerTraffic]:
+        """Traffic attributed to each peer: what it sent and what it got.
+
+        Aggregates the per-link counters, crediting ``link.src`` with the
+        send and ``link.dst`` with the receipt.  Every known peer appears
+        in the result, including silent ones — execution reports want a
+        row per peer, zeros and all.
+        """
+        traffic = {peer_id: PeerTraffic() for peer_id in self._peers}
+        for link in self._links.values():
+            stats = link.stats
+            sender = traffic[link.src]
+            sender.sent_bytes += stats.bytes
+            sender.sent_messages += stats.messages
+            sender.link_busy_time += stats.busy_time
+            receiver = traffic[link.dst]
+            receiver.received_bytes += stats.bytes
+            receiver.received_messages += stats.messages
+        return traffic
 
     # -- lifecycle ----------------------------------------------------------------
     def reset_clock(self) -> None:

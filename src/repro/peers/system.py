@@ -126,6 +126,25 @@ class AXMLSystem:
                 twin.registry.register_service(generic, member.name, member.peer)
         return twin
 
+    # -- reporting -----------------------------------------------------------------
+    def stats_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-peer accounting for execution reports.
+
+        Merges the network's per-peer traffic attribution with each
+        peer's compute counters.  Purely observational — does not touch
+        clocks or statistics.
+        """
+        traffic = self.network.peer_traffic()
+        image: Dict[str, Dict[str, object]] = {}
+        for peer_id in sorted(self.peers):
+            peer = self.peers[peer_id]
+            image[peer_id] = {
+                "traffic": traffic.get(peer_id),
+                "work_done": peer.work_done,
+                "busy_until": peer.busy_until,
+            }
+        return image
+
     # -- lifecycle -----------------------------------------------------------------
     def reset_clocks(self) -> None:
         """Zero all virtual-time state (new measurement, same Σ)."""
@@ -136,6 +155,19 @@ class AXMLSystem:
 
     def reset_stats(self) -> None:
         self.network.reset_stats()
+        for peer in self.peers.values():
+            peer.work_done = 0
+
+    def reset(self) -> None:
+        """Fresh measurement baseline: clocks *and* statistics, same Σ.
+
+        Documents and services are untouched; only virtual time and the
+        accounting counters go back to zero.  :meth:`Session.batch
+        <repro.session.Session.batch>` calls this between runs so every
+        report measures exactly one plan.
+        """
+        self.reset_clocks()
+        self.reset_stats()
 
     def __repr__(self) -> str:
         return f"AXMLSystem(peers={sorted(self.peers)})"

@@ -1,0 +1,514 @@
+"""The high-level façade: one object owning the paper's full loop.
+
+A :class:`Session` wraps an :class:`~repro.peers.system.AXMLSystem` and
+runs the complete pipeline the paper describes — parse the query,
+build the naive plan, rewrite it with equivalence rules (10)–(16)
+through a pluggable :class:`~repro.core.strategies.OptimizerStrategy`,
+optionally machine-verify the chosen rewrite, evaluate the winner —
+and hands back a single structured :class:`ExecutionReport`: answer
+forest, chosen plan, original/best cost, rewrite trace, and per-peer
+transfer/compute statistics pulled from the network simulator.
+
+>>> from repro import connect
+>>> from repro.peers import AXMLSystem
+>>> from repro.xmlcore import parse
+>>> system = AXMLSystem.with_peers(["laptop", "server"], bandwidth=50_000.0)
+>>> _ = system.peer("server").install_document("cat", parse(
+...     "<c>" + "".join(f"<i><p>{n}</p></i>" for n in range(40)) + "</c>"))
+>>> report = connect(system).query(
+...     "for $i in $d//i where $i/p > 37 return $i/p", at="laptop",
+...     bind={"d": "cat@server"})
+>>> len(report.items)
+2
+>>> report.best_cost.bytes < report.original_cost.bytes
+True
+
+Entry points: :meth:`Session.query` (XQuery text in, report out),
+:meth:`Session.run` (pre-built :class:`~repro.core.rules.Plan` in),
+:meth:`Session.explain` (optimize only, execute nothing), and
+:meth:`Session.batch` (a sequence of either, with the system reset to a
+clean measurement baseline between runs).  :func:`connect` is the
+one-line constructor re-exported as ``repro.connect``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .core.cost import Cost, measure
+from .core.evaluator import EvalOutcome, ExpressionEvaluator
+from .core.expressions import (
+    DocExpr,
+    Expression,
+    GenericDoc,
+    QueryApply,
+    QueryRef,
+    TreeExpr,
+)
+from .core.optimizer import Optimizer
+from .core.rules import DEFAULT_RULES, Plan, RewriteRule
+from .core.strategies import (
+    OptimizationResult,
+    OptimizerStrategy,
+    improvement_ratio,
+    make_strategy,
+)
+from .core.verify import VerificationResult, check_equivalence
+from .errors import DecompositionError, SessionError, XQueryError
+from .peers.system import AXMLSystem
+from .xmlcore.model import Element
+from .xmlcore.serializer import serialize
+from .xquery import Query
+from .xquery.decompose import Decomposition, free_variables, push_selection
+
+__all__ = ["ExecutionReport", "Session", "connect"]
+
+#: Value types accepted on the right-hand side of a parameter binding.
+Binding = Union[str, Tuple[str, str], Expression, Element]
+#: Requests accepted by :meth:`Session.batch`.
+BatchRequest = Union[Plan, Tuple, Mapping]
+
+
+@dataclass
+class ExecutionReport:
+    """Everything one pipeline run produced, in one structured object.
+
+    ``describe()`` is the pretty-printer the examples and benchmarks
+    share — the one place turning costs, verdicts and per-peer stats
+    into text.
+    """
+
+    #: The chosen (cheapest admissible) plan.
+    plan: Plan
+    #: The naive plan the pipeline started from.
+    original: Plan
+    best_cost: Cost
+    original_cost: Cost
+    #: Plans scored during the search.
+    explored: int
+    #: Name of the strategy that searched ("none" when optimization was off).
+    strategy: str
+    #: XQuery source text, when the run entered through :meth:`Session.query`.
+    source: Optional[str] = None
+    #: Query name, when known.
+    name: Optional[str] = None
+    #: (plan, cost, producing rule) search trace, best first (empty unless
+    #: the session was created with ``trace=True``).
+    trace: List[Tuple[Plan, Cost, str]] = field(default_factory=list)
+    #: Machine-checked equivalence of original vs chosen plan (``verify=True``).
+    verification: Optional[VerificationResult] = None
+    #: Rule-(11) split of the query, when it is decomposable.
+    decomposition: Optional[Decomposition] = None
+    #: The answer forest (empty for :meth:`Session.explain` / pure sends).
+    items: List[Element] = field(default_factory=list)
+    #: Whether the chosen plan was actually evaluated.
+    executed: bool = False
+    #: Virtual time at which value and side effects settled.
+    completed_at: float = 0.0
+    #: Whole-network totals for the execution (bytes, messages, by kind).
+    network: Dict[str, object] = field(default_factory=dict)
+    #: Per-peer stats: traffic attribution plus compute counters.
+    peers: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        """Scalar cost ratio original/best (>1 means the optimizer won)."""
+        return improvement_ratio(self.original_cost, self.best_cost)
+
+    @property
+    def answers(self) -> List[str]:
+        """The answer forest, serialized."""
+        return [serialize(item) for item in self.items]
+
+    def describe(self, include_trace: Optional[bool] = None) -> str:
+        """Human-readable report; the library's single cost pretty-printer.
+
+        ``include_trace`` defaults to whether a trace was recorded.
+        """
+        label = self.name or "(anonymous)"
+        lines = []
+        if self.source is not None:
+            lines.append(f"query:       {label} @{self.original.site}")
+        lines.append(f"original:    {self.original.describe()}")
+        lines.append(f"             {self.original_cost.describe()}")
+        lines.append(f"plan:        {self.plan.describe()}")
+        lines.append(f"             {self.best_cost.describe()}")
+        lines.append(
+            f"improvement: x{self.improvement:.2f}  "
+            f"({self.explored} plans explored, {self.strategy} strategy)"
+        )
+        if self.decomposition is not None:
+            lines.append(
+                "decompose:   rule (11) applies "
+                f"(inner {self.decomposition.inner.name!r})"
+            )
+        if self.verification is not None:
+            lines.append(
+                f"equivalent?  {self.verification.equivalent} "
+                f"({self.verification.reason})"
+            )
+        if self.executed:
+            lines.append(
+                f"answers:     {len(self.items)} items in "
+                f"{self.completed_at * 1000:.2f}ms virtual time"
+            )
+            for peer_id, stats in sorted(self.peers.items()):
+                traffic = stats.get("traffic")
+                if traffic is None:
+                    continue
+                lines.append(
+                    f"  peer {peer_id:12s} {traffic.describe()}, "
+                    f"work {stats.get('work_done', 0)}"
+                )
+        if include_trace is None:
+            include_trace = bool(self.trace)
+        if include_trace and self.trace:
+            lines.append("trace:")
+            for plan, cost, rule in self.trace:
+                lines.append(f"  {rule:32s} {cost.describe():>34s}")
+        return "\n".join(lines)
+
+
+class Session:
+    """The documented entry point: a system plus a configured pipeline.
+
+    Parameters
+    ----------
+    system:
+        The :class:`AXMLSystem` to query.
+    strategy:
+        A registered strategy name (``"beam"``, ``"greedy"``,
+        ``"exhaustive"``, or anything added via
+        :func:`~repro.core.strategies.register_strategy`) or an
+        :class:`~repro.core.strategies.OptimizerStrategy` instance.
+        ``strategy_options`` are forwarded to the named factory
+        (e.g. ``strategy_options={"depth": 2, "beam": 4}``).
+    verify:
+        Machine-check every rewrite kept during the search *and* the
+        finally chosen plan against the original (slow, sound).
+    trace:
+        Keep the full search trace on each report.
+    rules / cost_fn / pick_policy:
+        Forwarded to the optimizer and evaluator; ``cost_fn`` defaults
+        to oracle measurement under ``pick_policy``.
+    isolate:
+        When true (default), plans execute against a clone of Σ so the
+        session's system is never mutated by a run — matching the
+        measurement semantics of :func:`repro.core.cost.measure`.  Set
+        to false to let side effects (sends, deployments) land on the
+        live system; the system is then :meth:`~AXMLSystem.reset` before
+        each run so the report's accounting covers exactly that run.
+    """
+
+    def __init__(
+        self,
+        system: AXMLSystem,
+        *,
+        strategy: Union[str, OptimizerStrategy] = "beam",
+        verify: bool = False,
+        trace: bool = False,
+        rules: Sequence[RewriteRule] = DEFAULT_RULES,
+        cost_fn=None,
+        pick_policy=None,
+        isolate: bool = True,
+        strategy_options: Optional[Mapping] = None,
+    ) -> None:
+        self.system = system
+        self.strategy = make_strategy(strategy, **dict(strategy_options or {}))
+        self.verify = verify
+        self.trace = trace
+        self.pick_policy = pick_policy
+        self.isolate = isolate
+        if cost_fn is None:
+            cost_fn = lambda plan: measure(plan, system, pick_policy)
+        #: Equivalence verdicts from the current pipeline run, keyed by
+        #: plan pair, so the finally chosen plan is not re-verified after
+        #: the search already checked it (check_equivalence is the slow,
+        #: evaluate-both-sides path).
+        self._verify_cache: Dict[Tuple[str, str], VerificationResult] = {}
+        verifier = self._verified_equivalent if verify else None
+        self.optimizer = Optimizer(
+            system, rules=rules, cost_fn=cost_fn, verifier=verifier
+        )
+
+    def _verified_equivalent(self, left: Plan, right: Plan) -> bool:
+        return self._check_equivalence(left, right).equivalent
+
+    def _check_equivalence(self, left: Plan, right: Plan) -> VerificationResult:
+        key = (left.describe(), right.describe())
+        result = self._verify_cache.get(key)
+        if result is None:
+            result = check_equivalence(left, right, self.system, self.pick_policy)
+            self._verify_cache[key] = result
+        return result
+
+    # -- plan construction ---------------------------------------------------------
+    def compile(
+        self,
+        source: Union[str, Query],
+        params: Sequence[str] = (),
+        name: Optional[str] = None,
+    ) -> Query:
+        """Parse XQuery text into a :class:`Query` (idempotent on queries)."""
+        if isinstance(source, Query):
+            return source
+        return Query(source, params=params, name=name)
+
+    def plan(
+        self,
+        source: Union[str, Query],
+        at: str,
+        bind: Optional[Mapping[str, Binding]] = None,
+        name: Optional[str] = None,
+    ) -> Plan:
+        """The *naive* plan: apply the query at ``at`` to its bound arguments.
+
+        ``bind`` maps each query parameter to the data it ranges over:
+        ``"doc@peer"`` (a concrete document), ``"doc@any"`` (a generic
+        document resolved through the registry), a ``(doc, peer)`` tuple,
+        an :class:`Element` (a literal tree, homed at ``at``), or any
+        algebra :class:`Expression`.
+        """
+        self.system.peer(at)  # fail fast on unknown sites
+        bind = dict(bind or {})
+        query = self.compile(source, params=tuple(bind), name=name)
+        # parameters may be declared (external variables) or implicit (free
+        # variables of the body); both need a binding before evaluation
+        declared = {v.name for v in query.module.variables}
+        implicit = free_variables(query.module.body) - declared
+        missing = sorted(
+            set(p for p in query.params if p not in bind)
+            | (implicit - set(bind))
+        )
+        if missing:
+            raise SessionError(
+                f"no binding for query parameter(s) {missing}; "
+                "pass bind={'param': 'doc@peer', ...}"
+            )
+        # a pre-built Query may not list its implicit free variables as
+        # params; widen it so their bindings become arguments, not no-ops
+        extra = sorted((implicit & set(bind)) - set(query.params))
+        if extra:
+            query = Query(
+                query.source,
+                params=tuple(query.params) + tuple(extra),
+                name=query.name,
+            )
+        args = tuple(self._resolve_binding(bind[p], at) for p in query.params)
+        return Plan(QueryApply(QueryRef(query, at), args), at)
+
+    def _resolve_binding(self, value: Binding, at: str) -> Expression:
+        if isinstance(value, Expression):
+            return value
+        if isinstance(value, Element):
+            return TreeExpr(value, at)
+        if isinstance(value, tuple) and len(value) == 2:
+            name, peer = value
+            return self._doc_expression(name, peer)
+        if isinstance(value, str) and "@" in value:
+            name, _, peer = value.rpartition("@")
+            return self._doc_expression(name, peer)
+        raise SessionError(
+            f"cannot bind {value!r}: expected 'doc@peer', 'doc@any', a "
+            "(doc, peer) tuple, an Element, or an algebra Expression"
+        )
+
+    def _doc_expression(self, name: str, peer: str) -> Expression:
+        if peer == "any":
+            return GenericDoc(name)
+        self.system.peer(peer)
+        return DocExpr(name, peer)
+
+    # -- the pipeline --------------------------------------------------------------
+    def query(
+        self,
+        source: Union[str, Query],
+        at: str,
+        bind: Optional[Mapping[str, Binding]] = None,
+        name: Optional[str] = None,
+        optimize: bool = True,
+    ) -> ExecutionReport:
+        """Parse → decompose → optimize → verify → evaluate, in one call."""
+        query = self.compile(source, params=tuple(bind or {}), name=name)
+        plan = self.plan(query, at, bind=bind, name=name)
+        return self._pipeline(
+            plan,
+            execute=True,
+            optimize=optimize,
+            source=query.source,
+            name=query.name,
+            decomposition=self._try_decompose(query),
+        )
+
+    def run(self, plan: Plan, optimize: bool = True) -> ExecutionReport:
+        """Optimize (unless disabled) and evaluate a pre-built plan."""
+        return self._pipeline(plan, execute=True, optimize=optimize)
+
+    def explain(
+        self,
+        plan_or_source: Union[Plan, str, Query],
+        at: Optional[str] = None,
+        bind: Optional[Mapping[str, Binding]] = None,
+        name: Optional[str] = None,
+    ) -> ExecutionReport:
+        """Optimize and report — evaluate nothing, mutate nothing."""
+        if isinstance(plan_or_source, Plan):
+            return self._pipeline(plan_or_source, execute=False, optimize=True)
+        if at is None:
+            raise SessionError("explain(source, ...) needs the evaluation site 'at'")
+        query = self.compile(plan_or_source, params=tuple(bind or {}), name=name)
+        plan = self.plan(query, at, bind=bind, name=name)
+        return self._pipeline(
+            plan,
+            execute=False,
+            optimize=True,
+            source=query.source,
+            name=query.name,
+            decomposition=self._try_decompose(query),
+        )
+
+    def batch(
+        self, requests: Iterable[BatchRequest], at: Optional[str] = None
+    ) -> List[ExecutionReport]:
+        """Run a sequence of plans/queries, resetting Σ's accounting between runs.
+
+        Each request is a :class:`Plan`, a mapping of :meth:`query` keyword
+        arguments, or a ``(source, at, bind)`` tuple (``at`` may be elided
+        when the batch-level ``at`` is given).
+        """
+        reports: List[ExecutionReport] = []
+        for index, request in enumerate(requests):
+            if index:
+                self.system.reset()
+            if isinstance(request, Plan):
+                reports.append(self.run(request))
+            elif isinstance(request, Mapping):
+                kwargs = dict(request)
+                kwargs.setdefault("at", at)
+                reports.append(self.query(**kwargs))
+            elif isinstance(request, tuple) and 2 <= len(request) <= 3:
+                source, site = request[0], request[1]
+                bind = request[2] if len(request) == 3 else None
+                if isinstance(site, Mapping):  # (source, bind) with batch-level at
+                    source, site, bind = request[0], at, request[1]
+                if site is None:
+                    raise SessionError(
+                        "batch request has no evaluation site; pass at="
+                    )
+                reports.append(self.query(source, site, bind=bind))
+            else:
+                raise SessionError(
+                    f"unsupported batch request {request!r}; expected a Plan, "
+                    "a query-kwargs mapping, or a (source, at, bind) tuple"
+                )
+        return reports
+
+    # -- internals ----------------------------------------------------------------
+    def _try_decompose(self, query: Query) -> Optional[Decomposition]:
+        try:
+            return push_selection(query)
+        except (DecompositionError, XQueryError):
+            return None
+
+    def _optimize(self, plan: Plan, optimize: bool) -> OptimizationResult:
+        if not optimize:
+            cost = self.optimizer.search_space().score_original(plan)
+            return OptimizationResult(
+                best=plan,
+                best_cost=cost,
+                original_cost=cost,
+                explored=1,
+                trace=[(plan, cost, "original")],
+                strategy="none",
+            )
+        return self.optimizer.optimize_with(self.strategy, plan, verify=self.verify)
+
+    def _pipeline(
+        self,
+        plan: Plan,
+        execute: bool,
+        optimize: bool,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+        decomposition: Optional[Decomposition] = None,
+    ) -> ExecutionReport:
+        self._verify_cache.clear()  # Σ may have changed since the last run
+        result = self._optimize(plan, optimize)
+        verification: Optional[VerificationResult] = None
+        if self.verify:
+            if result.best is plan:
+                verification = VerificationResult(True, "plan unchanged")
+            else:
+                verification = self._check_equivalence(plan, result.best)
+        report = ExecutionReport(
+            plan=result.best,
+            original=plan,
+            best_cost=result.best_cost,
+            original_cost=result.original_cost,
+            explored=result.explored,
+            strategy=result.strategy or getattr(self.strategy, "name", "?"),
+            source=source,
+            name=name,
+            trace=list(result.trace) if self.trace else [],
+            verification=verification,
+            decomposition=decomposition,
+        )
+        if execute:
+            self._execute(report)
+        return report
+
+    def _execute(self, report: ExecutionReport) -> None:
+        """Evaluate the chosen plan; fill in answers and accounting."""
+        if self.isolate:
+            target = self.system.clone()
+        else:
+            target = self.system
+            target.reset()
+        outcome: EvalOutcome = ExpressionEvaluator(target, self.pick_policy).eval(
+            report.plan.expr, report.plan.site
+        )
+        stats = target.network.stats
+        report.items = list(outcome.items)
+        report.executed = True
+        report.completed_at = outcome.completed_at
+        report.network = {
+            "bytes": stats.bytes,
+            "messages": stats.messages,
+            "bytes_by_kind": dict(stats.bytes_by_kind),
+            "messages_by_kind": dict(stats.by_kind),
+        }
+        report.peers = target.stats_snapshot()
+
+
+def connect(
+    system: Optional[AXMLSystem] = None,
+    *,
+    peers: Optional[Sequence[str]] = None,
+    topology: str = "full_mesh",
+    **session_kwargs,
+) -> Session:
+    """Open a :class:`Session` — the documented top-level entry point.
+
+    Either hand over an existing :class:`AXMLSystem`, or name the peers
+    and let ``connect`` build one on a standard topology::
+
+        session = repro.connect(system, strategy="greedy", verify=True)
+        session = repro.connect(peers=["laptop", "server"])
+    """
+    if system is None:
+        if not peers:
+            raise SessionError("connect() needs an AXMLSystem or peers=[...]")
+        system = AXMLSystem.with_peers(list(peers), topology=topology)
+    elif peers:
+        raise SessionError("pass either a system or peers=[...], not both")
+    return Session(system, **session_kwargs)

@@ -37,6 +37,10 @@ from .tokens import Lexer, Token, TokenType
 
 __all__ = [
     "Query",
+    "Decomposition",
+    "push_selection",
+    "compose",
+    "free_variables",
     "ast",
     "Module",
     "XQNode",
@@ -134,3 +138,12 @@ class Query:
     def __repr__(self) -> str:
         label = self.name or "anonymous"
         return f"Query({label!r}, params={list(self.params)})"
+
+
+# Imported after Query's definition: decompose builds Query instances.
+from .decompose import (  # noqa: E402
+    Decomposition,
+    compose,
+    free_variables,
+    push_selection,
+)

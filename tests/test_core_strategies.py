@@ -1,0 +1,209 @@
+"""Tests for the optimizer strategy protocol, registry, and result types."""
+
+import pytest
+
+from repro.core import (
+    BeamSearchStrategy,
+    Cost,
+    DocExpr,
+    ExhaustiveStrategy,
+    GreedyStrategy,
+    OptimizationResult,
+    Optimizer,
+    Plan,
+    QueryApply,
+    QueryRef,
+    SearchSpace,
+    available_strategies,
+    make_strategy,
+    register_strategy,
+)
+from repro.core.strategies import STRATEGIES
+from repro.errors import OptimizerError
+from repro.peers import AXMLSystem
+from repro.xmlcore import parse
+from repro.xquery import Query
+
+
+def catalog(n=80):
+    return parse(
+        "<catalog>"
+        + "".join(
+            f"<item><name>nm{i}</name><price>{i}</price>"
+            f"<blurb>{'pad ' * 8}</blurb></item>"
+            for i in range(n)
+        )
+        + "</catalog>"
+    )
+
+
+@pytest.fixture()
+def system():
+    sys = AXMLSystem.with_peers(
+        ["client", "data", "helper"], bandwidth=50_000.0
+    )
+    sys.peer("data").install_document("cat", catalog())
+    return sys
+
+
+def naive_plan():
+    q = Query(
+        "for $i in $d//item where $i/price > 75 "
+        "return <r>{$i/name/text()}</r>",
+        params=("d",),
+        name="sel",
+    )
+    return Plan(
+        QueryApply(QueryRef(q, "client"), (DocExpr("cat", "data"),)), "client"
+    )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_strategies()
+        assert {"beam", "greedy", "exhaustive"} <= set(names)
+
+    def test_unknown_name_error_lists_available(self):
+        with pytest.raises(OptimizerError) as excinfo:
+            make_strategy("simulated-annealing")
+        message = str(excinfo.value)
+        assert "simulated-annealing" in message
+        assert "beam" in message and "greedy" in message
+
+    def test_make_strategy_forwards_options(self):
+        strategy = make_strategy("beam", depth=5, beam=2)
+        assert strategy.depth == 5 and strategy.beam == 2
+
+    def test_instance_passes_through(self):
+        instance = GreedyStrategy(max_steps=3)
+        assert make_strategy(instance) is instance
+
+    def test_instance_with_options_rejected(self):
+        with pytest.raises(OptimizerError, match="options"):
+            make_strategy(GreedyStrategy(), max_steps=3)
+
+    def test_non_strategy_rejected(self):
+        with pytest.raises(OptimizerError, match="not an optimizer strategy"):
+            make_strategy(42)
+
+    def test_custom_strategy_registration(self, system):
+        class FirstRewriteStrategy:
+            """Degenerate search: take the first scorable rewrite, if any."""
+
+            name = "first-rewrite"
+
+            def search(self, plan, space):
+                original_cost = space.score_original(plan)
+                best, best_cost, explored = plan, original_cost, 1
+                for rewrite in space.expand(plan):
+                    cost = space.score(rewrite.plan)
+                    if cost is None:
+                        continue
+                    best, best_cost, explored = rewrite.plan, cost, 2
+                    break
+                return OptimizationResult(
+                    best=best,
+                    best_cost=best_cost,
+                    original_cost=original_cost,
+                    explored=explored,
+                    strategy=self.name,
+                )
+
+        register_strategy("first-rewrite", FirstRewriteStrategy)
+        try:
+            assert "first-rewrite" in available_strategies()
+            result = Optimizer(system).optimize_with(
+                "first-rewrite", naive_plan()
+            )
+            assert result.strategy == "first-rewrite"
+            assert result.explored == 2
+        finally:
+            STRATEGIES.pop("first-rewrite", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(OptimizerError, match="already registered"):
+            register_strategy("beam", BeamSearchStrategy)
+
+    def test_replace_allows_override(self):
+        original = STRATEGIES["beam"]
+        try:
+            register_strategy("beam", GreedyStrategy, replace=True)
+            assert STRATEGIES["beam"] is GreedyStrategy
+        finally:
+            STRATEGIES["beam"] = original
+
+
+class TestStrategyParity:
+    """The extracted strategies must match the legacy Optimizer entry points."""
+
+    def test_beam_matches_legacy_optimize(self, system):
+        plan = naive_plan()
+        legacy = Optimizer(system).optimize(plan, depth=2, beam=6)
+        space = SearchSpace(system)
+        direct = BeamSearchStrategy(depth=2, beam=6).search(plan, space)
+        assert direct.best.describe() == legacy.best.describe()
+        assert direct.best_cost == legacy.best_cost
+        assert direct.explored == legacy.explored
+
+    def test_greedy_matches_legacy_optimize_greedy(self, system):
+        plan = naive_plan()
+        legacy = Optimizer(system).optimize_greedy(plan)
+        direct = GreedyStrategy().search(plan, SearchSpace(system))
+        assert direct.best.describe() == legacy.best.describe()
+        assert direct.best_cost == legacy.best_cost
+        assert direct.explored == legacy.explored
+
+    def test_exhaustive_at_least_as_good_as_beam(self, system):
+        plan = naive_plan()
+        space = SearchSpace(system)
+        beam = BeamSearchStrategy(depth=2, beam=4).search(plan, space)
+        full = ExhaustiveStrategy(depth=2).search(plan, space)
+        assert full.best_cost.scalar() <= beam.best_cost.scalar() * 1.001
+        assert full.explored >= beam.explored
+
+    def test_exhaustive_budget_bounds_exploration(self, system):
+        result = ExhaustiveStrategy(depth=3, max_plans=5).search(
+            naive_plan(), SearchSpace(system)
+        )
+        assert result.explored <= 5
+        assert result.best_cost.scalar() <= result.original_cost.scalar()
+
+    def test_greedy_verify_gates_trace_like_beam(self, system):
+        # with verify on, rejected rewrites must not leak into the trace
+        # or the explored count (parity with beam/exhaustive accounting)
+        plan = naive_plan()
+        rejecting = SearchSpace(
+            system, verifier=lambda a, b: False, verify=True
+        )
+        result = GreedyStrategy().search(plan, rejecting)
+        assert result.explored == 1
+        assert [rule for _, _, rule in result.trace] == ["original"]
+        assert result.best.describe() == plan.describe()
+
+    def test_strategy_name_recorded(self, system):
+        plan = naive_plan()
+        for name in ("beam", "greedy", "exhaustive"):
+            result = Optimizer(system).optimize_with(name, plan)
+            assert result.strategy == name
+
+
+class TestImprovementRatio:
+    def _result(self, original, best):
+        plan = Plan(DocExpr("d", "p"), "p")
+        return OptimizationResult(
+            best=plan, best_cost=best, original_cost=original, explored=1
+        )
+
+    def test_zero_over_zero_is_one(self):
+        zero = Cost(bytes=0, messages=0, time=0.0)
+        assert self._result(zero, zero).improvement == 1.0
+
+    def test_zero_best_nonzero_original_is_inf(self):
+        zero = Cost(bytes=0, messages=0, time=0.0)
+        original = Cost(bytes=100, messages=1, time=0.5)
+        assert self._result(original, zero).improvement == float("inf")
+
+    def test_normal_ratio(self):
+        original = Cost(bytes=0, messages=0, time=1.0)
+        best = Cost(bytes=0, messages=0, time=0.5)
+        assert self._result(original, best).improvement == pytest.approx(2.0)

@@ -9,14 +9,22 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "src")
 
 
 def run_example(name, timeout=180):
+    # the subprocess does not inherit pytest's pythonpath setting, so put
+    # src/ on the child's PYTHONPATH explicitly
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC_DIR, env.get("PYTHONPATH")) if p
+    )
     result = subprocess.run(
         [sys.executable, os.path.join(EXAMPLES_DIR, name)],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     return result.stdout
@@ -26,7 +34,7 @@ def run_example(name, timeout=180):
 class TestExamples:
     def test_quickstart(self):
         out = run_example("quickstart.py")
-        assert "equivalent?      True" in out
+        assert "equivalent?  True" in out
         assert "improvement" in out
         assert "<expensive>" in out
 
