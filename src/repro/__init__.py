@@ -56,4 +56,5 @@ __all__ = [
     "core",
     "errors",
     "session",
+    "workloads",
 ]

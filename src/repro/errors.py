@@ -143,3 +143,24 @@ class SessionError(ReproError):
     Examples: a binding string without a ``name@peer`` shape, a batch
     request of an unsupported type, or ``connect()`` without a system.
     """
+
+
+class WorkloadError(ReproError):
+    """Base class for the workload generator / differential harness.
+
+    Raised for malformed :class:`repro.workloads.ScenarioSpec` values
+    (e.g. more clusters than peers, an unknown topology name) and other
+    generator misuse.
+    """
+
+
+class DifferentialMismatchError(WorkloadError):
+    """Two optimizer strategies disagreed on a generated query's answer.
+
+    Carries the :class:`repro.workloads.Mismatch` record (including the
+    path of the written repro script) as ``mismatch`` when available.
+    """
+
+    def __init__(self, message: str, mismatch=None) -> None:
+        super().__init__(message)
+        self.mismatch = mismatch

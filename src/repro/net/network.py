@@ -148,7 +148,23 @@ class Network:
         bandwidth: float = 1_000_000.0,
         symmetric: bool = True,
     ) -> None:
-        """Add a link (and its reverse when ``symmetric``)."""
+        """Add a link (and its reverse when ``symmetric``).
+
+        Link quality must be physical: a zero or negative bandwidth would
+        make :meth:`Link.transfer_cost` divide by zero (or run time
+        backwards) deep inside a simulation, so it is rejected here at
+        construction time, as is a negative latency.
+        """
+        if bandwidth <= 0:
+            raise NetworkError(
+                f"link {src!r}->{dst!r} needs a positive bandwidth, "
+                f"got {bandwidth!r}"
+            )
+        if latency < 0:
+            raise NetworkError(
+                f"link {src!r}->{dst!r} needs a non-negative latency, "
+                f"got {latency!r}"
+            )
         self.add_peer(src)
         self.add_peer(dst)
         self._links[(src, dst)] = Link(src, dst, latency, bandwidth)

@@ -23,6 +23,7 @@ __all__ = [
     "line",
     "random_graph",
     "two_tier",
+    "clustered",
     "uniform",
 ]
 
@@ -139,6 +140,50 @@ def random_graph(
                     rng.uniform(*latency_range),
                     rng.uniform(*bandwidth_range),
                 )
+    return network
+
+
+def clustered(
+    peers: Sequence[str],
+    clusters: int = 2,
+    intra_latency: float = 0.002,
+    intra_bandwidth: float = 10_000_000.0,
+    bridge_latency: float = 0.04,
+    bridge_bandwidth: float = 250_000.0,
+) -> Network:
+    """Fully-meshed clusters joined by slow bridge links.
+
+    Peer ``i`` lands in cluster ``i % clusters``; within a cluster every
+    pair is directly connected with fast links, and the first member of
+    each cluster bridges to the next cluster's first member (a ring of
+    gateways).  Cross-cluster traffic is therefore store-and-forward
+    through the gateways — the shape where relocating computation next
+    to the data (rules (10)/(14)) pays the most.
+    """
+    if not peers:
+        raise NetworkError("clustered() needs at least one peer")
+    if clusters < 1:
+        raise NetworkError("clustered() needs at least one cluster")
+    clusters = min(clusters, len(peers))
+    groups: List[List[str]] = [[] for _ in range(clusters)]
+    for index, peer in enumerate(peers):
+        groups[index % clusters].append(peer)
+    network = Network()
+    for peer in peers:
+        network.add_peer(peer)
+    for group in groups:
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                network.add_link(a, b, intra_latency, intra_bandwidth)
+    if clusters > 1:
+        gateways = [group[0] for group in groups]
+        for index, gateway in enumerate(gateways):
+            network.add_link(
+                gateway,
+                gateways[(index + 1) % len(gateways)],
+                bridge_latency,
+                bridge_bandwidth,
+            )
     return network
 
 

@@ -1,0 +1,61 @@
+"""Procedural workloads and the differential conformance harness.
+
+Two halves:
+
+* :mod:`repro.workloads.generator` — :class:`ScenarioGenerator`, a
+  seeded factory turning ``(seed, index, spec)`` into a complete
+  distributed scenario: network topology, heterogeneous peers, plain and
+  AXML documents (embedded service calls), declarative services,
+  generic-document replicas, and an XQuery workload.  Fully
+  deterministic: the same seed reproduces the same
+  :meth:`Scenario.serialize` byte for byte.
+* :mod:`repro.workloads.harness` — :class:`DifferentialHarness`, which
+  runs every generated query through :class:`~repro.session.Session`
+  under every registered optimizer strategy and asserts
+  canonical-answer agreement plus cost monotonicity, recording any
+  disagreement as a minimized, seed-reproducible repro script.
+
+>>> from repro.workloads import DifferentialHarness, ScenarioGenerator
+>>> scenario = ScenarioGenerator(seed=3).scenario(0)
+>>> harness = DifferentialHarness(("beam", "greedy"), repro_dir=None)
+>>> harness.check_scenario(scenario).ok
+True
+"""
+
+from .generator import (
+    QUERY_SHAPES,
+    TOPOLOGIES,
+    GeneratedDocument,
+    GeneratedQuery,
+    GeneratedService,
+    Scenario,
+    ScenarioGenerator,
+    ScenarioSpec,
+)
+from .harness import (
+    DEFAULT_STRATEGIES,
+    DifferentialHarness,
+    HarnessReport,
+    Mismatch,
+    QueryDifferential,
+    ScenarioReport,
+    StrategyOutcome,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioGenerator",
+    "Scenario",
+    "GeneratedDocument",
+    "GeneratedService",
+    "GeneratedQuery",
+    "TOPOLOGIES",
+    "QUERY_SHAPES",
+    "DifferentialHarness",
+    "HarnessReport",
+    "ScenarioReport",
+    "QueryDifferential",
+    "StrategyOutcome",
+    "Mismatch",
+    "DEFAULT_STRATEGIES",
+]

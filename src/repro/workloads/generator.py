@@ -1,0 +1,522 @@
+"""Seeded procedural generation of whole distributed-query scenarios.
+
+The paper's claims are about behaviour across *many* configurations —
+topologies, placements, query shapes — while hand-written examples can
+only ever probe a few.  :class:`ScenarioGenerator` turns a seed into a
+complete, ready-to-query :class:`~repro.peers.system.AXMLSystem`:
+
+* a network on one of the standard topologies (star / ring / mesh /
+  clustered, built through :mod:`repro.net.topology`) with drawn link
+  quality;
+* a peer population with heterogeneous compute speeds;
+* plain XML documents with varied vocabularies, AXML documents with
+  embedded service calls, declarative services over host documents, and
+  optional generic-document replicas registered under ``name@any``;
+* an XQuery workload of configurable size over those documents, spanning
+  several shapes (projection, selection, construction, aggregation,
+  joins).
+
+Everything is drawn from one ``random.Random`` seeded by
+``(seed, index)``, so the same seed reproduces the same scenario down to
+the byte — :meth:`Scenario.serialize` is the canonical text form the
+determinism tests compare.  No global randomness is touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from random import Random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..net import topology as topo
+from ..net.network import Network
+from ..axml.document import make_service_call
+from ..peers.system import AXMLSystem
+from ..xmlcore.model import Element, Text, element
+from ..xmlcore.serializer import serialize
+
+__all__ = [
+    "ScenarioSpec",
+    "GeneratedDocument",
+    "GeneratedService",
+    "GeneratedQuery",
+    "Scenario",
+    "ScenarioGenerator",
+    "TOPOLOGIES",
+    "QUERY_SHAPES",
+]
+
+#: Topology names the generator draws from (`"any"` rotates over them).
+TOPOLOGIES = ("star", "ring", "mesh", "clustered")
+
+#: Query shapes the generator can emit.
+QUERY_SHAPES = ("project", "filter", "construct", "let_filter", "count", "join")
+
+_COMPUTE_SPEEDS = (20_000.0, 50_000.0, 100_000.0, 250_000.0, 500_000.0)
+_LATENCIES = (0.005, 0.01, 0.02, 0.03)
+_BANDWIDTHS = (100_000.0, 250_000.0, 1_000_000.0)
+_ROOT_TAGS = ("catalog", "inventory", "feed", "library", "ledger")
+_ITEM_TAGS = ("item", "entry", "record", "product", "row")
+_NAME_TAGS = ("name", "title", "label", "id")
+_NUM_TAGS = ("price", "score", "qty", "rank", "weight")
+_WORDS = ("alpha", "beta", "gamma", "delta", "omega", "sigma", "kappa", "zeta")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Shape parameters for one generated scenario (all sizes are targets).
+
+    ``topology="any"`` rotates deterministically through
+    :data:`TOPOLOGIES` by scenario index.  ``replicas`` documents are
+    mirrored onto other peers and registered as generic documents, so
+    some query bindings become ``name@any``.  ``axml_documents`` embed an
+    immediate service call each (when at least one service exists).
+    """
+
+    peers: int = 4
+    topology: str = "any"
+    documents: int = 3
+    axml_documents: int = 1
+    items: int = 12
+    payload_words: int = 3
+    value_range: int = 25
+    services: int = 2
+    replicas: int = 1
+    queries: int = 5
+    query_shapes: Tuple[str, ...] = QUERY_SHAPES
+
+    def validate(self) -> None:
+        if self.peers < 1:
+            raise WorkloadError("a scenario needs at least one peer")
+        if self.topology != "any" and self.topology not in TOPOLOGIES:
+            raise WorkloadError(
+                f"unknown topology {self.topology!r}; "
+                f"pick one of {', '.join(TOPOLOGIES)} or 'any'"
+            )
+        for count_field in (
+            "documents", "axml_documents", "services", "replicas",
+            "payload_words", "value_range",
+        ):
+            if getattr(self, count_field) < 0:
+                raise WorkloadError(f"{count_field} cannot be negative")
+        if self.documents + self.axml_documents < 1:
+            raise WorkloadError("a scenario needs at least one document")
+        if self.items < 1:
+            raise WorkloadError("documents need at least one item")
+        if self.queries < 1:
+            raise WorkloadError("a scenario needs at least one query")
+        unknown = sorted(set(self.query_shapes) - set(QUERY_SHAPES))
+        if unknown:
+            raise WorkloadError(
+                f"unknown query shapes {unknown}; "
+                f"available: {', '.join(QUERY_SHAPES)}"
+            )
+        if self.replicas > self.documents:
+            raise WorkloadError("cannot replicate more documents than exist")
+
+    def to_kwargs(self) -> Dict[str, object]:
+        """Literal kwargs reconstructing this spec (for repro scripts)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class GeneratedDocument:
+    """One generated document plus the vocabulary queries need."""
+
+    name: str
+    peer: str
+    item_tag: str
+    name_tag: str
+    num_tag: str
+    n_items: int
+    #: Generic name when the document was replicated (else None).
+    generic: Optional[str] = None
+    #: Whether the document embeds a service call (AXML).
+    active: bool = False
+
+
+@dataclass(frozen=True)
+class GeneratedService:
+    name: str
+    peer: str
+    source: str
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One workload query, ready for ``Session.query(**query.kwargs())``."""
+
+    name: str
+    shape: str
+    source: str
+    at: str
+    #: parameter -> "doc@peer" / "generic@any" binding strings.
+    bind: Tuple[Tuple[str, str], ...]
+
+    @property
+    def bindings(self) -> Dict[str, str]:
+        return dict(self.bind)
+
+    def kwargs(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "at": self.at,
+            "bind": self.bindings,
+            "name": self.name,
+        }
+
+
+@dataclass
+class Scenario:
+    """A ready system plus its query workload and generation provenance."""
+
+    seed: int
+    index: int
+    spec: ScenarioSpec
+    topology: str
+    system: AXMLSystem
+    documents: List[GeneratedDocument]
+    services: List[GeneratedService]
+    queries: List[GeneratedQuery]
+
+    def query(self, name: str) -> GeneratedQuery:
+        for query in self.queries:
+            if query.name == name:
+                return query
+        raise WorkloadError(f"no generated query named {name!r}")
+
+    def serialize(self) -> str:
+        """Canonical text form of the whole scenario.
+
+        Two scenarios generated from the same ``(seed, index, spec)`` are
+        byte-identical here — the determinism contract the conformance
+        tests pin down.  Everything observable is included: topology,
+        link quality, peer speeds, full document trees, service sources,
+        registry membership, and the query workload.
+        """
+        lines = [f"scenario seed={self.seed} index={self.index}"]
+        spec_items = " ".join(
+            f"{key}={value!r}" for key, value in sorted(self.spec.to_kwargs().items())
+        )
+        lines.append(f"spec {spec_items}")
+        lines.append(f"topology {self.topology}")
+        for peer_id in sorted(self.system.peers):
+            peer = self.system.peer(peer_id)
+            lines.append(f"peer {peer_id} speed={peer.compute_speed:.0f}")
+        for link in sorted(
+            self.system.network.links(), key=lambda l: (l.src, l.dst)
+        ):
+            lines.append(
+                f"link {link.src}->{link.dst} "
+                f"latency={link.latency:.6f} bandwidth={link.bandwidth:.0f}"
+            )
+        for peer_id in sorted(self.system.peers):
+            peer = self.system.peer(peer_id)
+            for doc_name in sorted(peer.documents):
+                lines.append(
+                    f"doc {doc_name}@{peer_id} {serialize(peer.documents[doc_name])}"
+                )
+        for service in self.services:
+            lines.append(
+                f"service {service.name}@{service.peer} {service.source}"
+            )
+        registry = self.system.registry
+        for generic in sorted(
+            doc.generic for doc in self.documents if doc.generic
+        ):
+            members = ", ".join(
+                str(member) for member in registry.document_members(generic)
+            )
+            lines.append(f"generic {generic} -> {members}")
+        for query in self.queries:
+            binds = " ".join(f"{param}={target}" for param, target in query.bind)
+            lines.append(f"query {query.name} shape={query.shape} at={query.at} {binds}")
+            lines.append(f"  {query.source}")
+        return "\n".join(lines) + "\n"
+
+    def describe(self) -> str:
+        return (
+            f"scenario#{self.index} (seed {self.seed}): "
+            f"{len(self.system.peers)} peers on {self.topology}, "
+            f"{len(self.documents)} docs, {len(self.services)} services, "
+            f"{len(self.queries)} queries"
+        )
+
+
+class ScenarioGenerator:
+    """Deterministic factory: ``(seed, index, spec) -> Scenario``.
+
+    >>> gen = ScenarioGenerator(seed=7)
+    >>> a = gen.scenario(0)
+    >>> b = ScenarioGenerator(seed=7).scenario(0)
+    >>> a.serialize() == b.serialize()
+    True
+    """
+
+    def __init__(self, seed: int = 0, spec: Optional[ScenarioSpec] = None) -> None:
+        self.seed = seed
+        self.spec = spec or ScenarioSpec()
+        self.spec.validate()
+
+    def scenarios(
+        self, count: int, start: int = 0, spec: Optional[ScenarioSpec] = None
+    ) -> Iterator[Scenario]:
+        """Lazily yield ``count`` scenarios with consecutive indices."""
+        for index in range(start, start + count):
+            yield self.scenario(index, spec)
+
+    def scenario(self, index: int = 0, spec: Optional[ScenarioSpec] = None) -> Scenario:
+        spec = spec or self.spec
+        spec.validate()
+        # one private stream per (seed, index): scenarios are independent
+        # and insertion into a sweep never perturbs its neighbours.
+        # (str seeding hashes via sha512, stable across processes/versions)
+        rng = Random(f"{self.seed}:{index}")
+
+        topology = spec.topology
+        if topology == "any":
+            topology = TOPOLOGIES[index % len(TOPOLOGIES)]
+        peer_ids = [f"p{i}" for i in range(spec.peers)]
+        network = self._build_network(rng, topology, peer_ids)
+        system = AXMLSystem(network)
+        for peer_id in peer_ids:
+            system.add_peer(peer_id, compute_speed=rng.choice(_COMPUTE_SPEEDS))
+
+        services = self._install_services(rng, spec, system, peer_ids)
+        documents = self._install_documents(rng, spec, system, peer_ids, services)
+        queries = self._generate_queries(rng, spec, documents, peer_ids)
+        return Scenario(
+            seed=self.seed,
+            index=index,
+            spec=spec,
+            topology=topology,
+            system=system,
+            documents=documents,
+            services=services,
+            queries=queries,
+        )
+
+    # -- network -----------------------------------------------------------------
+    def _build_network(
+        self, rng: Random, topology: str, peer_ids: Sequence[str]
+    ) -> Network:
+        latency = rng.choice(_LATENCIES)
+        bandwidth = rng.choice(_BANDWIDTHS)
+        if topology == "mesh":
+            return topo.full_mesh(peer_ids, latency, bandwidth)
+        if topology == "star":
+            return topo.star(peer_ids, latency=latency, bandwidth=bandwidth)
+        if topology == "ring":
+            if len(peer_ids) < 2:
+                return topo.full_mesh(peer_ids, latency, bandwidth)
+            return topo.ring(peer_ids, latency, bandwidth)
+        if topology == "clustered":
+            clusters = min(len(peer_ids), rng.choice((2, 3)))
+            return topo.clustered(
+                peer_ids,
+                clusters=clusters,
+                bridge_latency=latency * 2,
+                bridge_bandwidth=bandwidth / 2,
+            )
+        raise WorkloadError(f"unknown topology {topology!r}")
+
+    # -- services ----------------------------------------------------------------
+    def _install_services(
+        self,
+        rng: Random,
+        spec: ScenarioSpec,
+        system: AXMLSystem,
+        peer_ids: Sequence[str],
+    ) -> List[GeneratedService]:
+        """Declarative services closing over a private host document.
+
+        Each service gets its own small backing document on its host
+        peer, so delegating the service elsewhere is a genuine rewrite
+        (the implementing query's ``doc()`` stays home-resolved).
+        """
+        services: List[GeneratedService] = []
+        for k in range(spec.services):
+            host = rng.choice(list(peer_ids))
+            item_tag = rng.choice(_ITEM_TAGS)
+            num_tag = rng.choice(_NUM_TAGS)
+            backing = f"svcdoc{k}"
+            n_items = rng.randint(2, max(2, spec.items // 2))
+            tree = self._make_tree(
+                rng, "store", item_tag, rng.choice(_NAME_TAGS), num_tag,
+                n_items, spec.payload_words, spec.value_range,
+            )
+            system.peer(host).install_document(backing, tree)
+            threshold = rng.randint(0, spec.value_range)
+            source = (
+                f'for $i in doc("{backing}")//{item_tag} '
+                f"where $i/{num_tag} > {threshold} return $i"
+            )
+            system.peer(host).install_query_service(f"s{k}", source)
+            services.append(GeneratedService(f"s{k}", host, source))
+        return services
+
+    # -- documents ---------------------------------------------------------------
+    def _install_documents(
+        self,
+        rng: Random,
+        spec: ScenarioSpec,
+        system: AXMLSystem,
+        peer_ids: Sequence[str],
+        services: List[GeneratedService],
+    ) -> List[GeneratedDocument]:
+        documents: List[GeneratedDocument] = []
+        total = spec.documents + spec.axml_documents
+        for k in range(total):
+            active = k >= spec.documents and bool(services)
+            host = rng.choice(list(peer_ids))
+            item_tag = rng.choice(_ITEM_TAGS)
+            name_tag = rng.choice(_NAME_TAGS)
+            num_tag = rng.choice(_NUM_TAGS)
+            n_items = rng.randint(max(1, spec.items // 2), spec.items)
+            tree = self._make_tree(
+                rng, rng.choice(_ROOT_TAGS), item_tag, name_tag, num_tag,
+                n_items, spec.payload_words, spec.value_range,
+            )
+            if active:
+                service = rng.choice(services)
+                tree.append(make_service_call(service.peer, service.name))
+            name = f"d{k}"
+            system.peer(host).install_document(name, tree)
+            documents.append(
+                GeneratedDocument(
+                    name=name,
+                    peer=host,
+                    item_tag=item_tag,
+                    name_tag=name_tag,
+                    num_tag=num_tag,
+                    n_items=n_items,
+                    active=active,
+                )
+            )
+        return self._replicate(rng, spec, system, peer_ids, documents)
+
+    def _replicate(
+        self,
+        rng: Random,
+        spec: ScenarioSpec,
+        system: AXMLSystem,
+        peer_ids: Sequence[str],
+        documents: List[GeneratedDocument],
+    ) -> List[GeneratedDocument]:
+        """Mirror some plain documents and register the generic classes."""
+        if spec.replicas == 0 or len(peer_ids) < 2:
+            return documents
+        # only passive documents replicate: an sc node firing on two
+        # replicas would race the registry's equivalence promise.
+        candidates = [doc for doc in documents if not doc.active]
+        rng.shuffle(candidates)
+        chosen = candidates[: spec.replicas]
+        out: List[GeneratedDocument] = []
+        for doc in documents:
+            if doc not in chosen:
+                out.append(doc)
+                continue
+            generic = f"g-{doc.name}"
+            mirrors = [p for p in peer_ids if p != doc.peer]
+            mirror_peer = rng.choice(mirrors)
+            original = system.peer(doc.peer).document(doc.name)
+            mirror_name = f"{doc.name}.r1"
+            system.peer(mirror_peer).install_document(
+                mirror_name, original.copy_without_ids()
+            )
+            system.registry.register_document(generic, doc.name, doc.peer)
+            system.registry.register_document(generic, mirror_name, mirror_peer)
+            out.append(replace(doc, generic=generic))
+        return out
+
+    def _make_tree(
+        self,
+        rng: Random,
+        root_tag: str,
+        item_tag: str,
+        name_tag: str,
+        num_tag: str,
+        n_items: int,
+        payload_words: int,
+        value_range: int,
+    ) -> Element:
+        root = element(root_tag)
+        for i in range(n_items):
+            payload = " ".join(
+                rng.choice(_WORDS) for _ in range(payload_words)
+            )
+            item = element(
+                item_tag,
+                element(name_tag, f"{item_tag}-{i}"),
+                element(num_tag, str(rng.randint(0, value_range))),
+            )
+            if payload_words:
+                item.append(element("desc", payload))
+            root.append(item)
+        return root
+
+    # -- queries -----------------------------------------------------------------
+    def _generate_queries(
+        self,
+        rng: Random,
+        spec: ScenarioSpec,
+        documents: List[GeneratedDocument],
+        peer_ids: Sequence[str],
+    ) -> List[GeneratedQuery]:
+        queries: List[GeneratedQuery] = []
+        shapes = list(spec.query_shapes)
+        for k in range(spec.queries):
+            shape = shapes[k % len(shapes)]
+            doc = rng.choice(documents)
+            if shape == "join" and len(documents) < 2:
+                shape = "filter"
+            at = rng.choice(list(peer_ids))
+            threshold = rng.randint(0, spec.value_range)
+            bind: List[Tuple[str, str]] = [("d", self._target(rng, doc))]
+            if shape == "project":
+                source = f"for $x in $d//{doc.item_tag} return $x/{doc.name_tag}"
+            elif shape == "filter":
+                source = (
+                    f"for $x in $d//{doc.item_tag} "
+                    f"where $x/{doc.num_tag} > {threshold} return $x/{doc.name_tag}"
+                )
+            elif shape == "construct":
+                source = (
+                    f"for $x in $d//{doc.item_tag} "
+                    f"where $x/{doc.num_tag} >= {threshold} "
+                    f"return <hit>{{$x/{doc.name_tag}/text()}}</hit>"
+                )
+            elif shape == "let_filter":
+                source = (
+                    f"for $x in $d//{doc.item_tag} let $n := $x/{doc.name_tag} "
+                    f"where $x/{doc.num_tag} > {threshold} return $n"
+                )
+            elif shape == "count":
+                source = f"count($d//{doc.item_tag})"
+            elif shape == "join":
+                other = rng.choice([d for d in documents if d.name != doc.name])
+                bind.append(("e", self._target(rng, other)))
+                source = (
+                    f"for $a in $d//{doc.item_tag}, $b in $e//{other.item_tag} "
+                    f"where $a/{doc.num_tag} = $b/{other.num_tag} "
+                    f"return $a/{doc.name_tag}"
+                )
+            else:  # pragma: no cover - spec.validate() rejects these
+                raise WorkloadError(f"unknown query shape {shape!r}")
+            queries.append(
+                GeneratedQuery(
+                    name=f"q{k}",
+                    shape=shape,
+                    source=source,
+                    at=at,
+                    bind=tuple(bind),
+                )
+            )
+        return queries
+
+    def _target(self, rng: Random, doc: GeneratedDocument) -> str:
+        """Concrete ``name@peer`` binding, or generic when replicated."""
+        if doc.generic and rng.random() < 0.5:
+            return f"{doc.generic}@any"
+        return f"{doc.name}@{doc.peer}"

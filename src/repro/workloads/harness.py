@@ -1,0 +1,509 @@
+"""Differential conformance: strategies cross-check each other at scale.
+
+Every registered optimizer strategy searches the *same* rewrite space, so
+for any query all of them must produce plans with canonically-equal
+answers — the optimizer and evaluator become their own test oracle (in
+the spirit of implementation-validation work where independent
+computation paths are compared, no hand-written expected outputs
+needed).  :class:`DifferentialHarness` runs each generated query through
+:class:`~repro.session.Session` under every strategy and checks:
+
+* **answer agreement** — the answer forests, compared as multisets of
+  canonical forms (:func:`repro.xmlcore.canon.canonical_form`, the
+  paper's unordered tree model);
+* **cost monotonicity** — no strategy ever returns a plan it scored
+  worse than the original (``best_cost <= original_cost``), i.e. the
+  improvement ratio is never below 1.
+
+Disagreements become :class:`Mismatch` records: the harness first
+*minimizes* the scenario (shrinking document sizes while the mismatch
+reproduces) and then writes a standalone repro script that rebuilds the
+exact failing scenario from its seed — ``python <script>`` exits 1 while
+the bug exists and 0 once fixed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.cost import Cost
+from ..core.strategies import improvement_ratio
+from ..errors import DifferentialMismatchError, WorkloadError
+from ..session import Session
+from ..xmlcore.canon import canonical_form
+from .generator import GeneratedQuery, Scenario, ScenarioGenerator, ScenarioSpec
+
+__all__ = [
+    "StrategyOutcome",
+    "QueryDifferential",
+    "ScenarioReport",
+    "HarnessReport",
+    "Mismatch",
+    "DifferentialHarness",
+    "DEFAULT_STRATEGIES",
+]
+
+DEFAULT_STRATEGIES: Tuple[str, ...] = ("beam", "greedy", "exhaustive")
+
+#: Default per-strategy options: exhaustive is bounded tighter than its
+#: factory default so 50-scenario sweeps stay affordable.
+DEFAULT_STRATEGY_OPTIONS: Dict[str, Dict[str, object]] = {
+    "exhaustive": {"depth": 3, "max_plans": 256},
+}
+
+_COST_EPS = 1e-9
+
+
+@dataclass
+class StrategyOutcome:
+    """One strategy's verdict on one query."""
+
+    strategy: str
+    #: Canonical multiset of the answer forest (sorted reprs).
+    answers: Tuple[str, ...]
+    original_cost: Cost
+    best_cost: Cost
+    explored: int
+
+    @property
+    def improvement(self) -> float:
+        """See :func:`repro.core.strategies.improvement_ratio`."""
+        return improvement_ratio(self.original_cost, self.best_cost)
+
+    @property
+    def monotonic(self) -> bool:
+        """The chosen plan is never scored worse than the original."""
+        return self.best_cost.scalar() <= self.original_cost.scalar() + _COST_EPS
+
+
+@dataclass
+class Mismatch:
+    """A differential failure, minimized and reproducible from its seed.
+
+    ``spec``, ``query`` and ``answers`` all describe the *same* scenario:
+    when minimization shrank the original, the disagreeing strategies
+    were re-run on the shrunk scenario and those answers recorded.
+    """
+
+    seed: int
+    index: int
+    spec: ScenarioSpec
+    query: GeneratedQuery
+    #: strategy -> canonical answers on the recorded (possibly shrunk)
+    #: scenario, for the disagreeing strategies at least.
+    answers: Dict[str, Tuple[str, ...]]
+    #: The two strategies exhibiting the disagreement.
+    strategies: Tuple[str, str]
+    #: Per-strategy factory options the harness searched with — the repro
+    #: script re-applies them so bounded searches reproduce faithfully.
+    strategy_options: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: repr of the harness's pick policy when one was set (policies are
+    #: not serializable; the repro script warns it must be re-applied).
+    pick_policy_note: Optional[str] = None
+    repro_path: Optional[str] = None
+
+    def describe(self) -> str:
+        a, b = self.strategies
+        lines = [
+            f"mismatch on query {self.query.name!r} ({self.query.shape}) of "
+            f"scenario seed={self.seed} index={self.index}: "
+            f"{a!r} vs {b!r} disagree",
+            f"  {a}: {len(self.answers[a])} answers",
+            f"  {b}: {len(self.answers[b])} answers",
+        ]
+        if self.repro_path:
+            lines.append(f"  repro: {self.repro_path}")
+        return "\n".join(lines)
+
+    def repro_script(self) -> str:
+        """Standalone script reproducing exactly this disagreement."""
+        strategies = tuple(sorted(self.answers))
+        policy_warning = ""
+        if self.pick_policy_note:
+            policy_warning = (
+                f'\nprint("WARNING: the harness ran with pick_policy='
+                f'{self.pick_policy_note}; re-apply it for a faithful repro")\n'
+            )
+        return _REPRO_TEMPLATE.format(
+            query=self.query.name,
+            shape=self.query.shape,
+            pair=" vs ".join(self.strategies),
+            seed=self.seed,
+            index=self.index,
+            spec_kwargs=repr(self.spec.to_kwargs()),
+            strategies=strategies,
+            strategy_options=repr(self.strategy_options),
+            policy_warning=policy_warning,
+        )
+
+
+_REPRO_TEMPLATE = '''#!/usr/bin/env python3
+"""Auto-generated differential repro (minimized).
+
+Optimizer strategies disagreed on the answers of generated query
+{query!r} (shape {shape!r}): {pair}.  This script rebuilds the exact
+scenario from its seed and re-runs the query under every strategy;
+it exits 1 while the disagreement reproduces and 0 once it is fixed.
+"""
+
+import sys
+
+from repro.session import Session
+from repro.workloads import ScenarioGenerator, ScenarioSpec
+from repro.xmlcore.canon import canonical_form
+
+SEED = {seed}
+INDEX = {index}
+SPEC = ScenarioSpec(**{spec_kwargs})
+QUERY = {query!r}
+STRATEGIES = {strategies!r}
+# search bounds the harness used — without them a disagreement that only
+# shows under a bounded search would falsely "not reproduce"
+STRATEGY_OPTIONS = {strategy_options}
+{policy_warning}
+scenario = ScenarioGenerator(seed=SEED).scenario(INDEX, spec=SPEC)
+query = scenario.query(QUERY)
+answers = {{}}
+for strategy in STRATEGIES:
+    session = Session(
+        scenario.system,
+        strategy=strategy,
+        strategy_options=STRATEGY_OPTIONS.get(strategy),
+    )
+    report = session.query(**query.kwargs())
+    answers[strategy] = sorted(repr(canonical_form(i)) for i in report.items)
+    print(f"{{strategy:12s}} {{len(answers[strategy])}} answers")
+
+reference = answers[STRATEGIES[0]]
+if all(candidate == reference for candidate in answers.values()):
+    print("all strategies agree - mismatch no longer reproduces")
+    sys.exit(0)
+for strategy, candidate in answers.items():
+    if candidate != reference:
+        print(f"MISMATCH: {{STRATEGIES[0]}} vs {{strategy}}")
+        print(f"  {{STRATEGIES[0]}}: {{reference}}")
+        print(f"  {{strategy}}: {{candidate}}")
+sys.exit(1)
+'''
+
+
+@dataclass
+class QueryDifferential:
+    """All strategies' outcomes for one query, plus the verdicts."""
+
+    query: GeneratedQuery
+    outcomes: Dict[str, StrategyOutcome]
+    mismatch: Optional[Mismatch] = None
+
+    @property
+    def agreed(self) -> bool:
+        return self.mismatch is None
+
+    @property
+    def monotonic(self) -> bool:
+        return all(outcome.monotonic for outcome in self.outcomes.values())
+
+    @property
+    def ok(self) -> bool:
+        return self.agreed and self.monotonic
+
+
+@dataclass
+class ScenarioReport:
+    """Differential results for every query of one scenario."""
+
+    scenario: Scenario
+    results: List[QueryDifferential] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def mismatches(self) -> List[Mismatch]:
+        return [r.mismatch for r in self.results if r.mismatch is not None]
+
+    def describe(self) -> str:
+        verdict = "ok" if self.ok else "MISMATCH"
+        explored = sum(
+            outcome.explored
+            for result in self.results
+            for outcome in result.outcomes.values()
+        )
+        return (
+            f"{self.scenario.describe()}: {verdict} "
+            f"({len(self.results)} queries, {explored} plans scored)"
+        )
+
+
+@dataclass
+class HarnessReport:
+    """Aggregate over a sweep of scenarios."""
+
+    reports: List[ScenarioReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    @property
+    def mismatches(self) -> List[Mismatch]:
+        return [m for report in self.reports for m in report.mismatches]
+
+    @property
+    def queries_checked(self) -> int:
+        return sum(len(report.results) for report in self.reports)
+
+    @property
+    def plans_explored(self) -> int:
+        return sum(
+            outcome.explored
+            for report in self.reports
+            for result in report.results
+            for outcome in result.outcomes.values()
+        )
+
+    def describe(self) -> str:
+        verdict = "ok" if self.ok else f"{len(self.mismatches)} MISMATCHES"
+        lines = [
+            f"differential sweep: {len(self.reports)} scenarios, "
+            f"{self.queries_checked} queries, {self.plans_explored} plans "
+            f"scored -> {verdict}"
+        ]
+        for mismatch in self.mismatches:
+            lines.append(mismatch.describe())
+        return "\n".join(lines)
+
+
+class DifferentialHarness:
+    """Run queries under every strategy and assert they agree.
+
+    Parameters
+    ----------
+    strategies:
+        Registered strategy names to cross-check (at least two).
+    strategy_options:
+        Per-strategy factory options, merged over
+        :data:`DEFAULT_STRATEGY_OPTIONS`.
+    repro_dir:
+        Where mismatch repro scripts land (created on demand).  ``None``
+        disables script writing.
+    minimize:
+        Shrink mismatching scenarios (halving document sizes while the
+        disagreement still reproduces) before recording them.
+    """
+
+    def __init__(
+        self,
+        strategies: Sequence[str] = DEFAULT_STRATEGIES,
+        strategy_options: Optional[Mapping[str, Mapping[str, object]]] = None,
+        pick_policy=None,
+        repro_dir: Optional[str] = "workload-repros",
+        minimize: bool = True,
+    ) -> None:
+        if len(strategies) < 2:
+            raise WorkloadError(
+                "differential checking needs at least two strategies"
+            )
+        self.strategies = tuple(strategies)
+        options: Dict[str, Dict[str, object]] = {
+            name: dict(opts) for name, opts in DEFAULT_STRATEGY_OPTIONS.items()
+        }
+        for name, opts in dict(strategy_options or {}).items():
+            options[name] = dict(opts)
+        self.strategy_options = options
+        self.pick_policy = pick_policy
+        self.repro_dir = repro_dir
+        self.minimize = minimize
+
+    # -- running -----------------------------------------------------------------
+    def run_query(
+        self, scenario: Scenario, query: GeneratedQuery, strategy: str
+    ) -> StrategyOutcome:
+        """One (query, strategy) cell: run through the façade, canonicalize."""
+        session = Session(
+            scenario.system,
+            strategy=strategy,
+            strategy_options=self.strategy_options.get(strategy),
+            pick_policy=self.pick_policy,
+        )
+        report = session.query(**query.kwargs())
+        answers = tuple(
+            sorted(repr(canonical_form(item)) for item in report.items)
+        )
+        return StrategyOutcome(
+            strategy=strategy,
+            answers=answers,
+            original_cost=report.original_cost,
+            best_cost=report.best_cost,
+            explored=report.explored,
+        )
+
+    def check_query(
+        self, scenario: Scenario, query: GeneratedQuery
+    ) -> QueryDifferential:
+        outcomes = {
+            strategy: self.run_query(scenario, query, strategy)
+            for strategy in self.strategies
+        }
+        result = QueryDifferential(query=query, outcomes=outcomes)
+        disagreement = self._find_disagreement(outcomes)
+        if disagreement is not None:
+            result.mismatch = self._record_mismatch(scenario, query, outcomes, disagreement)
+        return result
+
+    def check_scenario(self, scenario: Scenario) -> ScenarioReport:
+        report = ScenarioReport(scenario=scenario)
+        for query in scenario.queries:
+            report.results.append(self.check_query(scenario, query))
+        return report
+
+    def check(
+        self, scenarios: Iterable[Scenario], raise_on_mismatch: bool = False
+    ) -> HarnessReport:
+        """Sweep scenarios; optionally raise on the first disagreement."""
+        report = HarnessReport()
+        for scenario in scenarios:
+            scenario_report = self.check_scenario(scenario)
+            report.reports.append(scenario_report)
+            if raise_on_mismatch and not scenario_report.ok:
+                mismatches = scenario_report.mismatches
+                detail = (
+                    mismatches[0].describe()
+                    if mismatches
+                    else f"non-monotonic cost in {scenario.describe()}"
+                )
+                raise DifferentialMismatchError(
+                    detail, mismatches[0] if mismatches else None
+                )
+        return report
+
+    # -- mismatch handling ---------------------------------------------------------
+    def _find_disagreement(
+        self, outcomes: Dict[str, StrategyOutcome]
+    ) -> Optional[Tuple[str, str]]:
+        reference = self.strategies[0]
+        for other in self.strategies[1:]:
+            if outcomes[other].answers != outcomes[reference].answers:
+                return (reference, other)
+        return None
+
+    def _record_mismatch(
+        self,
+        scenario: Scenario,
+        query: GeneratedQuery,
+        outcomes: Dict[str, StrategyOutcome],
+        strategies: Tuple[str, str],
+    ) -> Mismatch:
+        answers = {name: out.answers for name, out in outcomes.items()}
+        spec, query, shrunk_answers = self._minimized(scenario, query, strategies)
+        if shrunk_answers is not None:
+            # spec/query/answers must describe the same (shrunk) scenario
+            answers = shrunk_answers
+        relevant_options = {
+            name: dict(opts)
+            for name, opts in self.strategy_options.items()
+            if name in answers
+        }
+        mismatch = Mismatch(
+            seed=scenario.seed,
+            index=scenario.index,
+            spec=spec,
+            query=query,
+            answers=answers,
+            strategies=strategies,
+            strategy_options=relevant_options,
+            pick_policy_note=(
+                repr(self.pick_policy) if self.pick_policy is not None else None
+            ),
+        )
+        if self.repro_dir is not None:
+            os.makedirs(self.repro_dir, exist_ok=True)
+            path = os.path.join(
+                self.repro_dir,
+                f"repro-seed{scenario.seed}-idx{scenario.index}-{query.name}.py",
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(mismatch.repro_script())
+            mismatch.repro_path = path
+        return mismatch
+
+    def _minimized(
+        self,
+        scenario: Scenario,
+        query: GeneratedQuery,
+        strategies: Tuple[str, str],
+    ) -> Tuple[
+        ScenarioSpec,
+        GeneratedQuery,
+        Optional[Dict[str, Tuple[str, ...]]],
+    ]:
+        """Shrink the scenario while the disagreement still reproduces.
+
+        Regenerates the scenario from its seed with progressively smaller
+        specs (documents halved in size, payload stripped); the smallest
+        spec on which the same query still disagrees wins.  Generation is
+        deterministic, so the repro script rebuilds the shrunk scenario
+        exactly.  Returns the spec, the (regenerated) query, and the
+        disagreeing strategies' answers on that shrunk scenario — or
+        ``None`` for the answers when no shrinking happened.
+        """
+        if not self.minimize:
+            return scenario.spec, query, None
+        best: Optional[
+            Tuple[ScenarioSpec, GeneratedQuery, Dict[str, Tuple[str, ...]]]
+        ] = None
+        for candidate in self._shrink_candidates(scenario.spec):
+            shrunk_answers = self._disagreeing_answers(
+                scenario, candidate, query.name, strategies
+            )
+            if shrunk_answers is None:
+                continue
+            regenerated = ScenarioGenerator(seed=scenario.seed, spec=candidate)
+            best = (
+                candidate,
+                regenerated.scenario(scenario.index).query(query.name),
+                shrunk_answers,
+            )
+        if best is None:
+            return scenario.spec, query, None
+        return best
+
+    def _shrink_candidates(self, spec: ScenarioSpec) -> List[ScenarioSpec]:
+        candidates: List[ScenarioSpec] = []
+        items = spec.items
+        payload = spec.payload_words
+        while items > 1 or payload > 0:
+            items = max(1, items // 2)
+            payload = 0
+            candidate = replace(spec, items=items, payload_words=payload)
+            if candidate != spec and candidate not in candidates:
+                candidates.append(candidate)
+            if items == 1:
+                break
+        return candidates
+
+    def _disagreeing_answers(
+        self,
+        scenario: Scenario,
+        spec: ScenarioSpec,
+        query_name: str,
+        strategies: Tuple[str, str],
+    ) -> Optional[Dict[str, Tuple[str, ...]]]:
+        """The pair's answers on the shrunk scenario, or None if it agrees."""
+        try:
+            shrunk = ScenarioGenerator(seed=scenario.seed, spec=spec).scenario(
+                scenario.index
+            )
+            query = shrunk.query(query_name)
+            first = self.run_query(shrunk, query, strategies[0])
+            second = self.run_query(shrunk, query, strategies[1])
+        except Exception:
+            # a shrunk scenario that fails for unrelated reasons is not a
+            # valid minimization step
+            return None
+        if first.answers == second.answers:
+            return None
+        return {strategies[0]: first.answers, strategies[1]: second.answers}

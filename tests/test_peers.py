@@ -30,6 +30,7 @@ from repro.xmlcore import (
     Signature,
     element,
     equivalent,
+    iter_elements,
     parse,
 )
 from repro.xquery import Query
@@ -330,3 +331,71 @@ class TestSystem:
         system.reset_clocks()
         assert system.clock == 0.0
         assert system.peer("a").busy_until == 0.0
+
+
+class TestCloneIndependence:
+    """clone() must hand back a measurement-independent twin of Σ."""
+
+    def build(self):
+        system = AXMLSystem.with_peers(["a", "b"])
+        system.peer("a").install_document("d", parse("<r><x/></r>"))
+        return system
+
+    def test_clone_starts_with_clean_accounting(self):
+        system = self.build()
+        system.network.send_tree("a", "b", "x" * 500)
+        system.peer("a").charge(5000)
+        system.clock = 3.0
+        twin = system.clone()
+        assert twin.network.stats.messages == 0
+        assert twin.peer("a").work_done == 0
+        assert twin.peer("a").busy_until == 0.0
+        assert twin.clock == 0.0
+
+    def test_traffic_on_original_never_reaches_the_clone(self):
+        system = self.build()
+        twin = system.clone()
+        system.network.send_tree("a", "b", "x" * 500)
+        system.peer("b").charge(100)
+        assert twin.network.stats.bytes == 0
+        assert twin.network.link("a", "b").stats.messages == 0
+        assert twin.peer("b").work_done == 0
+
+    def test_traffic_on_clone_never_reaches_the_original(self):
+        system = self.build()
+        twin = system.clone()
+        twin.network.send_tree("b", "a", "y" * 200)
+        twin.peer("a").charge(100)
+        twin.clock = 9.0
+        assert system.network.stats.messages == 0
+        assert system.peer("a").work_done == 0
+        assert system.peer("a").busy_until == 0.0
+        assert system.clock == 0.0
+
+    def test_reset_on_clone_leaves_original_accounting(self):
+        system = self.build()
+        system.network.send_tree("a", "b", "x" * 500)
+        system.peer("a").charge(5000)
+        twin = system.clone()
+        twin.reset()
+        assert system.network.stats.messages == 1
+        assert system.peer("a").work_done == 5000
+
+    def test_clone_clock_and_busy_independent_after_reset(self):
+        system = self.build()
+        twin = system.clone()
+        twin.network.send_tree("a", "b", "x" * 500)
+        twin.peer("a").charge(2000)
+        system.reset()
+        assert twin.network.stats.messages == 1
+        assert twin.peer("a").work_done == 2000
+        assert twin.peer("a").busy_until > 0.0
+
+    def test_clone_documents_share_no_nodes(self):
+        system = self.build()
+        twin = system.clone()
+        original = system.peer("a").document("d")
+        cloned = twin.peer("a").document("d")
+        original_ids = {id(n) for n in iter_elements(original)}
+        cloned_ids = {id(n) for n in iter_elements(cloned)}
+        assert not original_ids & cloned_ids

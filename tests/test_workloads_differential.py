@@ -1,0 +1,270 @@
+"""Workload generator determinism + differential conformance of strategies.
+
+The fast subset here runs in tier-1; the full 50-scenario sweep is
+marked ``generated`` and runs on demand:
+
+    python -m pytest -m generated
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.rules import Plan
+from repro.core.expressions import TreeExpr
+from repro.core.strategies import OptimizationResult, register_strategy
+from repro.errors import DifferentialMismatchError, WorkloadError
+from repro.session import Session
+from repro.workloads import (
+    QUERY_SHAPES,
+    TOPOLOGIES,
+    DifferentialHarness,
+    ScenarioGenerator,
+    ScenarioSpec,
+)
+from repro.xmlcore import element
+
+SMALL = ScenarioSpec(
+    peers=3, documents=2, axml_documents=1, items=8, services=1,
+    replicas=1, queries=4,
+)
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        a = ScenarioGenerator(seed=11).scenario(0)
+        b = ScenarioGenerator(seed=11).scenario(0)
+        assert a.serialize() == b.serialize()
+
+    def test_same_seed_identical_across_indices(self):
+        first = [s.serialize() for s in ScenarioGenerator(seed=4).scenarios(3)]
+        second = [s.serialize() for s in ScenarioGenerator(seed=4).scenarios(3)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = ScenarioGenerator(seed=1).scenario(0)
+        b = ScenarioGenerator(seed=2).scenario(0)
+        assert a.serialize() != b.serialize()
+
+    def test_different_indices_differ(self):
+        gen = ScenarioGenerator(seed=1)
+        assert gen.scenario(0).serialize() != gen.scenario(1).serialize()
+
+    def test_index_rotates_topologies(self):
+        gen = ScenarioGenerator(seed=0)
+        seen = {gen.scenario(i).topology for i in range(len(TOPOLOGIES))}
+        assert seen == set(TOPOLOGIES)
+
+    def test_fixed_topology_respected(self):
+        spec = ScenarioSpec(topology="clustered", peers=5)
+        scenario = ScenarioGenerator(seed=0, spec=spec).scenario(0)
+        assert scenario.topology == "clustered"
+
+    def test_snapshot_equality_between_regenerations(self):
+        # Σ itself (documents, services) is reproduced, not just the dump
+        a = ScenarioGenerator(seed=8).scenario(2)
+        b = ScenarioGenerator(seed=8).scenario(2)
+        assert a.system.snapshot() == b.system.snapshot()
+
+
+class TestGeneratedScenarioShape:
+    def test_declared_sizes_present(self):
+        scenario = ScenarioGenerator(seed=3, spec=SMALL).scenario(0)
+        assert len(scenario.system.peers) == SMALL.peers
+        assert len(scenario.documents) == SMALL.documents + SMALL.axml_documents
+        assert len(scenario.queries) == SMALL.queries
+        assert len(scenario.services) == SMALL.services
+
+    def test_compute_speeds_are_heterogeneous(self):
+        spec = ScenarioSpec(peers=10)
+        scenario = ScenarioGenerator(seed=1, spec=spec).scenario(0)
+        speeds = {
+            scenario.system.peer(p).compute_speed for p in scenario.system.peers
+        }
+        assert len(speeds) > 1
+
+    def test_replicated_document_registered_as_generic(self):
+        scenario = ScenarioGenerator(seed=3, spec=SMALL).scenario(0)
+        generics = [doc for doc in scenario.documents if doc.generic]
+        assert generics
+        members = scenario.system.registry.document_members(generics[0].generic)
+        assert len(members) == 2
+        assert scenario.system.registry.check_document_equivalence(
+            generics[0].generic, scenario.system
+        )
+
+    def test_axml_document_embeds_service_call(self):
+        scenario = ScenarioGenerator(seed=3, spec=SMALL).scenario(0)
+        active = [doc for doc in scenario.documents if doc.active]
+        assert active
+        tree = scenario.system.peer(active[0].peer).document(active[0].name)
+        assert any(
+            child.tag == "sc" for child in tree.element_children
+        )
+
+    def test_every_query_is_runnable(self):
+        scenario = ScenarioGenerator(seed=6, spec=SMALL).scenario(1)
+        session = Session(scenario.system, strategy="greedy")
+        for query in scenario.queries:
+            report = session.query(**query.kwargs())
+            assert report.executed
+
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            ScenarioSpec(peers=0).validate()
+        with pytest.raises(WorkloadError):
+            ScenarioSpec(topology="torus").validate()
+        with pytest.raises(WorkloadError):
+            ScenarioSpec(query_shapes=("project", "mystery")).validate()
+        with pytest.raises(WorkloadError):
+            ScenarioSpec(documents=1, replicas=2).validate()
+
+    def test_query_lookup(self):
+        scenario = ScenarioGenerator(seed=3, spec=SMALL).scenario(0)
+        assert scenario.query("q0").name == "q0"
+        with pytest.raises(WorkloadError):
+            scenario.query("q999")
+
+
+class TestDifferentialAgreement:
+    """Seeded property tests: all strategies agree on generated scenarios."""
+
+    @pytest.mark.parametrize("index", range(8))
+    def test_strategies_agree_fast_subset(self, index):
+        scenario = ScenarioGenerator(seed=1234, spec=SMALL).scenario(index)
+        harness = DifferentialHarness(repro_dir=None)
+        report = harness.check_scenario(scenario)
+        assert report.ok, report.describe()
+
+    def test_cost_monotonicity_every_strategy(self):
+        scenario = ScenarioGenerator(seed=77, spec=SMALL).scenario(0)
+        harness = DifferentialHarness(repro_dir=None)
+        report = harness.check_scenario(scenario)
+        for result in report.results:
+            for outcome in result.outcomes.values():
+                assert outcome.monotonic
+                assert outcome.improvement >= 1.0
+
+    def test_check_runs_all_query_shapes(self):
+        spec = ScenarioSpec(
+            peers=4, documents=3, axml_documents=0, items=8, services=0,
+            replicas=0, queries=len(QUERY_SHAPES),
+        )
+        scenario = ScenarioGenerator(seed=5, spec=spec).scenario(0)
+        assert {q.shape for q in scenario.queries} == set(QUERY_SHAPES)
+        report = DifferentialHarness(repro_dir=None).check_scenario(scenario)
+        assert report.ok, report.describe()
+
+    def test_harness_needs_two_strategies(self):
+        # misuse is a WorkloadError; DifferentialMismatchError is reserved
+        # for genuine strategy disagreements
+        with pytest.raises(WorkloadError):
+            DifferentialHarness(strategies=("beam",))
+
+    def test_negative_spec_counts_rejected(self):
+        with pytest.raises(WorkloadError):
+            ScenarioSpec(replicas=-1).validate()
+        with pytest.raises(WorkloadError):
+            ScenarioSpec(services=-2).validate()
+
+    @pytest.mark.generated
+    @pytest.mark.slow
+    @pytest.mark.parametrize("index", range(50))
+    def test_strategies_agree_full_sweep(self, index):
+        """The acceptance sweep: 50 seeded scenarios, default spec."""
+        scenario = ScenarioGenerator(seed=2026).scenario(index)
+        harness = DifferentialHarness(repro_dir=None)
+        report = harness.check_scenario(scenario)
+        assert report.ok, report.describe()
+
+
+class _BogusStrategy:
+    """Deliberately wrong: 'optimizes' every plan into a constant tree."""
+
+    name = "bogus"
+
+    def search(self, plan, space):
+        original_cost = space.score_original(plan)
+        wrong = Plan(TreeExpr(element("bogus"), plan.site), plan.site)
+        return OptimizationResult(
+            best=wrong,
+            best_cost=space.score(wrong) or original_cost,
+            original_cost=original_cost,
+            explored=2,
+            strategy=self.name,
+        )
+
+
+class TestMismatchReporting:
+    @pytest.fixture()
+    def broken(self):
+        register_strategy("bogus", _BogusStrategy, replace=True)
+        return ("beam", "bogus")
+
+    def test_mismatch_detected_and_minimized(self, broken, tmp_path):
+        scenario = ScenarioGenerator(seed=9, spec=SMALL).scenario(0)
+        harness = DifferentialHarness(
+            strategies=broken, repro_dir=str(tmp_path)
+        )
+        report = harness.check_scenario(scenario)
+        assert not report.ok
+        mismatch = report.mismatches[0]
+        assert mismatch.strategies == ("beam", "bogus")
+        # minimization shrank the documents all the way down
+        assert mismatch.spec.items < SMALL.items
+        assert mismatch.repro_path is not None
+
+    def test_repro_script_reproduces_from_seed(self, broken, tmp_path):
+        scenario = ScenarioGenerator(seed=9, spec=SMALL).scenario(0)
+        harness = DifferentialHarness(
+            strategies=broken, repro_dir=str(tmp_path)
+        )
+        mismatch = harness.check_scenario(scenario).mismatches[0]
+        text = open(mismatch.repro_path, encoding="utf-8").read()
+        assert "SEED = 9" in text
+        assert f"ScenarioSpec(**{mismatch.spec.to_kwargs()!r}" in text
+        # without the bogus strategy registered the script must exit 0
+        # (strategies recorded in the script are only the real ones when
+        # present); here we just check it is syntactically valid python.
+        compile(text, mismatch.repro_path, "exec")
+
+    def test_check_raises_when_asked(self, broken, tmp_path):
+        gen = ScenarioGenerator(seed=9, spec=SMALL)
+        harness = DifferentialHarness(
+            strategies=broken, repro_dir=str(tmp_path), minimize=False
+        )
+        with pytest.raises(DifferentialMismatchError) as exc:
+            harness.check(gen.scenarios(2), raise_on_mismatch=True)
+        assert exc.value.mismatch is not None
+
+    def test_repro_script_passes_once_strategies_agree(self, tmp_path):
+        # a script generated for two honest strategies exits 0: the
+        # "mismatch" does not reproduce, which is the fixed-state path
+        scenario = ScenarioGenerator(seed=9, spec=SMALL).scenario(0)
+        harness = DifferentialHarness(
+            strategies=("beam", "greedy"), repro_dir=str(tmp_path),
+            minimize=False,
+        )
+        # force-record a fake mismatch so a script is written
+        query = scenario.queries[0]
+        outcomes = {
+            name: harness.run_query(scenario, query, name)
+            for name in ("beam", "greedy")
+        }
+        mismatch = harness._record_mismatch(
+            scenario, query, outcomes, ("beam", "greedy")
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p
+        )
+        result = subprocess.run(
+            [sys.executable, mismatch.repro_path],
+            capture_output=True, text=True, timeout=120, env=env,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
