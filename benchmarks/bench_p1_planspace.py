@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""P1 — plan-space memoization: memoized vs. unmemoized search on W1 scenarios.
+
+Workload: generated W1 scenarios (`repro.workloads`), every query searched
+by every registered strategy — the bounded exhaustive enumeration plus
+beam and greedy — twice:
+
+* **memoized** — one shared :class:`repro.core.planspace.PlanCache` per
+  scenario (the `Session` default plus cross-strategy sharing, exactly
+  how the differential harness runs), so each distinct plan is costed
+  and rule-expanded at most once per scenario;
+* **unmemoized** — ``Session(plan_cache=None)``: no transposition
+  table, so every search pays the full cost function for every plan it
+  scores — nothing carries over between strategies or queries, and
+  greedy re-pays for the heavy overlap between consecutive
+  hill-climbing neighborhoods.
+
+Claimed shape (asserted):
+
+* best plan and best cost are byte-identical between the two runs for
+  every (query, strategy) cell — memoization changes the price of the
+  search, never its outcome;
+* the memoized sweep makes >=2x fewer cost-function invocations
+  (the expensive `measure` oracle: clone Σ + evaluate) and is faster on
+  the wall clock.
+
+Emits ``benchmarks/results/BENCH_planspace.json`` with wall times, plans
+explored/deduped, cache hit rate, cost calls saved, and per-strategy
+breakdowns (the exhaustive-only dedup ratio is reported there too).
+CI's perf-smoke job runs ``--quick`` and fails on any regression where
+memoized search needs *more* cost calls than unmemoized.
+
+Run:  python benchmarks/bench_p1_planspace.py [--quick] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import emit, emit_json, format_table, timed_run  # noqa: E402
+
+from repro.core.planspace import PlanCache  # noqa: E402
+from repro.session import Session  # noqa: E402
+from repro.workloads import ScenarioGenerator, ScenarioSpec  # noqa: E402
+
+BENCH_ID = "P1"
+JSON_NAME = "BENCH_planspace"
+
+#: Strategy lineup: the searches that share (or forgo) the table — the
+#: same trio the differential harness cross-checks, with exhaustive at
+#: the harness's depth and a budget far above what these scenarios need
+#: (a tripped budget would cut the search short on both sides).
+STRATEGIES = (
+    ("exhaustive", {"depth": 3, "max_plans": 200_000}),
+    ("beam", {"depth": 3, "beam": 8}),
+    ("greedy", {"max_steps": 8}),
+)
+
+SIZES = (
+    ("small", ScenarioSpec(peers=4, documents=3, axml_documents=1, items=12,
+                           services=2, replicas=1, queries=4)),
+    ("medium", ScenarioSpec(peers=5, documents=3, axml_documents=1, items=20,
+                            services=2, replicas=2, queries=5)),
+)
+QUICK_SIZES = (SIZES[0],)
+SCENARIOS_PER_SIZE = 2
+MIN_RATIO = 2.0
+
+
+def sweep_scenario(scenario, memoized: bool) -> dict:
+    """All queries x strategies over one scenario, one configuration.
+
+    Returns cost-call counts, cache counters, and the (plan, cost)
+    outcome of every cell for the identical-result comparison.
+    """
+    cache = PlanCache() if memoized else None
+    cost_calls = explored = deduped = hits = 0
+    outcomes = {}
+    for query in scenario.queries:
+        kwargs = query.kwargs()
+        for name, options in STRATEGIES:
+            session = Session(
+                scenario.system,
+                strategy=name,
+                strategy_options=options,
+                plan_cache=cache if memoized else None,
+            )
+            report = session.explain(
+                kwargs["source"], at=kwargs["at"], bind=kwargs.get("bind")
+            )
+            metrics = report.plan_cache
+            cost_calls += metrics.cost_misses
+            hits += metrics.cost_hits
+            deduped += metrics.plans_deduped
+            explored += report.explored
+            outcomes[(query.name, name)] = (
+                report.plan.describe(),
+                (report.best_cost.bytes, report.best_cost.messages,
+                 report.best_cost.time),
+            )
+    return {
+        "cost_calls": cost_calls,
+        "cost_hits": hits,
+        "plans_deduped": deduped,
+        "explored": explored,
+        "outcomes": outcomes,
+    }
+
+
+def run_sweep(seed: int, sizes, scenarios_per_size: int):
+    rows = []
+    per_strategy = {name: {"memo": 0, "unmemo": 0} for name, _ in STRATEGIES}
+    totals = {
+        "memo_calls": 0, "unmemo_calls": 0,
+        "memo_seconds": 0.0, "unmemo_seconds": 0.0,
+        "cost_hits": 0, "plans_deduped": 0,
+        "memo_explored": 0, "unmemo_explored": 0,
+    }
+    for label, spec in sizes:
+        generator = ScenarioGenerator(seed=seed, spec=spec)
+        for index in range(scenarios_per_size):
+            scenario = generator.scenario(index)
+            memo, memo_s = timed_run(lambda: sweep_scenario(scenario, True))
+            unmemo, unmemo_s = timed_run(lambda: sweep_scenario(scenario, False))
+
+            # memoization must never change the search's outcome
+            mismatched = [
+                cell for cell, outcome in memo["outcomes"].items()
+                if unmemo["outcomes"][cell] != outcome
+            ]
+            assert not mismatched, (
+                f"memoized search changed plans/costs for {mismatched}"
+            )
+            totals["memo_calls"] += memo["cost_calls"]
+            totals["unmemo_calls"] += unmemo["cost_calls"]
+            totals["memo_seconds"] += memo_s
+            totals["unmemo_seconds"] += unmemo_s
+            totals["cost_hits"] += memo["cost_hits"]
+            totals["plans_deduped"] += memo["plans_deduped"]
+            totals["memo_explored"] += memo["explored"]
+            totals["unmemo_explored"] += unmemo["explored"]
+            ratio = unmemo["cost_calls"] / max(1, memo["cost_calls"])
+            rows.append((
+                label, index, memo["cost_calls"], unmemo["cost_calls"],
+                ratio, memo["cost_hits"], memo["plans_deduped"],
+                memo_s * 1000, unmemo_s * 1000,
+            ))
+
+            # per-strategy cost calls (run each strategy in isolation so
+            # cross-strategy sharing does not blur the attribution)
+            for name, options in STRATEGIES:
+                for memoized, bucket in ((True, "memo"), (False, "unmemo")):
+                    per_strategy[name][bucket] += _strategy_calls(
+                        scenario, name, options, memoized
+                    )
+    return rows, totals, per_strategy
+
+
+def _strategy_calls(scenario, name, options, memoized: bool) -> int:
+    cache = PlanCache() if memoized else None
+    calls = 0
+    for query in scenario.queries:
+        kwargs = query.kwargs()
+        session = Session(
+            scenario.system,
+            strategy=name,
+            strategy_options=options,
+            plan_cache=cache if memoized else None,
+        )
+        report = session.explain(
+            kwargs["source"], at=kwargs["at"], bind=kwargs.get("bind")
+        )
+        calls += report.plan_cache.cost_misses
+    return calls
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep for CI's perf-smoke job")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scenarios", type=int, default=SCENARIOS_PER_SIZE,
+                        help="scenarios per size bucket")
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else SIZES
+    rows, totals, per_strategy = run_sweep(args.seed, sizes, args.scenarios)
+
+    ratio = totals["unmemo_calls"] / max(1, totals["memo_calls"])
+    speedup = totals["unmemo_seconds"] / max(1e-9, totals["memo_seconds"])
+    hit_rate = totals["cost_hits"] / max(
+        1, totals["cost_hits"] + totals["memo_calls"]
+    )
+
+    emit(
+        BENCH_ID,
+        "plan-space memoization: cost-fn invocations, memoized vs unmemoized",
+        format_table(
+            ["size", "idx", "memo calls", "unmemo calls", "ratio",
+             "cache hits", "deduped", "memo ms", "unmemo ms"],
+            rows,
+        ),
+    )
+    strategy_summary = {
+        name: {
+            "memoized_cost_calls": buckets["memo"],
+            "unmemoized_cost_calls": buckets["unmemo"],
+            "ratio": buckets["unmemo"] / max(1, buckets["memo"]),
+        }
+        for name, buckets in per_strategy.items()
+    }
+    payload = {
+        "bench": BENCH_ID,
+        "seed": args.seed,
+        "quick": args.quick,
+        "strategies": {name: dict(options) for name, options in STRATEGIES},
+        "memoized": {
+            "cost_calls": totals["memo_calls"],
+            "wall_seconds": round(totals["memo_seconds"], 4),
+            "plans_explored": totals["memo_explored"],
+            "plans_deduped": totals["plans_deduped"],
+            "cost_calls_saved": totals["cost_hits"],
+            "cache_hit_rate": round(hit_rate, 4),
+        },
+        "unmemoized": {
+            "cost_calls": totals["unmemo_calls"],
+            "wall_seconds": round(totals["unmemo_seconds"], 4),
+            "plans_explored": totals["unmemo_explored"],
+        },
+        "cost_call_ratio": round(ratio, 3),
+        "wall_time_speedup": round(speedup, 3),
+        "identical_best_plans": True,  # asserted per cell in run_sweep
+        "per_strategy": strategy_summary,
+    }
+    emit_json(JSON_NAME, payload)
+
+    print(
+        f"\ncost-fn invocations: {totals['unmemo_calls']} unmemoized vs "
+        f"{totals['memo_calls']} memoized (x{ratio:.2f} fewer), "
+        f"wall-time speedup x{speedup:.2f}, "
+        f"cache hit rate {hit_rate:.0%}"
+    )
+
+    # regression gates: memoized search must never pay more than the
+    # unmemoized baseline (CI --quick), and the full sweep must keep the
+    # headline >=2x claim
+    if totals["memo_calls"] > totals["unmemo_calls"]:
+        print("FAIL: memoized search made more cost calls than unmemoized")
+        return 1
+    if not args.quick and ratio < MIN_RATIO:
+        print(f"FAIL: cost-call ratio {ratio:.2f} below the x{MIN_RATIO} target")
+        return 1
+    if args.quick and ratio < MIN_RATIO:
+        # quick mode uses the same depths, so the claim should hold there
+        # too; treat a dip below target as failure to keep CI honest
+        print(f"FAIL: quick-mode ratio {ratio:.2f} below the x{MIN_RATIO} target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

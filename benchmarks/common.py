@@ -12,8 +12,10 @@ Every bench:
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+import time
+from typing import Callable, Iterable, List, Sequence, Tuple
 
 from repro import Session, connect
 from repro.peers import AXMLSystem
@@ -93,3 +95,29 @@ def emit(experiment_id: str, title: str, table: str) -> None:
     path = os.path.join(RESULTS_DIR, f"{experiment_id.lower()}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
+
+
+def timed_run(fn: Callable[[], object]) -> Tuple[object, float]:
+    """Run ``fn`` once under a wall clock; returns ``(result, seconds)``.
+
+    The timed-run primitive of the perf benches: keep the callable free
+    of setup work so the seconds cover exactly the operation under test.
+    """
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Persist a machine-readable result blob under results/``name``.json.
+
+    The perf-regression harness (CI's perf-smoke job) parses these, so
+    keep payloads flat-ish and stable-keyed; returns the written path.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return path

@@ -163,11 +163,11 @@ def make_service_call(
     """
     node = element(SC_LABEL, element("peer", provider), element("service", service))
     if mode != ActivationMode.IMMEDIATE:
-        node.attrs["mode"] = mode
+        node.set_attr("mode", mode)
     if after is not None:
-        node.attrs["after"] = after
+        node.set_attr("after", after)
     if name is not None:
-        node.attrs["name"] = name
+        node.set_attr("name", name)
     for index, param in enumerate(params, start=1):
         wrapper = element(f"param{index}")
         if isinstance(param, str):
@@ -229,7 +229,7 @@ class AXMLDocument:
         services flows through streams, not through re-activation.
         """
         self.activated.add(id(call.node))
-        call.node.attrs["activated"] = "true"
+        call.node.set_attr("activated", "true")
 
     def was_activated(self, call: ServiceCall) -> bool:
         return (

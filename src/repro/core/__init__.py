@@ -46,6 +46,7 @@ from .expressions import (
     walk,
 )
 from .optimizer import OptimizationResult, Optimizer
+from .planspace import CacheStats, PlanCache, plan_fingerprint
 from .strategies import (
     BeamSearchStrategy,
     ExhaustiveStrategy,
@@ -70,6 +71,7 @@ from .rules import (
     TransferReuse,
 )
 from .serialize import (
+    expression_fingerprint,
     expression_from_text,
     expression_size,
     expression_to_text,
@@ -92,13 +94,15 @@ __all__ = [
     # cost / optimizer
     "Cost", "Statistics", "CostEstimator", "measure",
     "Optimizer", "OptimizationResult",
+    # plan-space memoization
+    "PlanCache", "CacheStats", "plan_fingerprint",
     # strategies
     "OptimizerStrategy", "SearchSpace", "BeamSearchStrategy",
     "GreedyStrategy", "ExhaustiveStrategy", "register_strategy",
     "available_strategies", "make_strategy",
     # serialization
     "to_xml", "from_xml", "expression_to_text", "expression_from_text",
-    "expression_size",
+    "expression_size", "expression_fingerprint",
     # verification
     "check_equivalence", "VerificationResult", "observable_state",
 ]

@@ -26,6 +26,7 @@ from ..peers.service import DeclarativeService
 from ..peers.system import AXMLSystem
 from ..xmlcore.model import tree_size
 from .evaluator import ExpressionEvaluator
+from .planspace import PlanCache
 from .expressions import (
     ANY,
     DocDest,
@@ -44,7 +45,7 @@ from .expressions import (
     TreeExpr,
 )
 from .rules import Plan
-from .serialize import expression_size
+from .serialize import expression_fingerprint, expression_size
 
 __all__ = ["Cost", "Statistics", "measure", "CostEstimator"]
 
@@ -95,6 +96,19 @@ class Statistics:
         fraction = self.selectivity.get(name, self.default_selectivity)
         return max(1, int(input_bytes * fraction))
 
+    def memo_token(self) -> Tuple:
+        """Hashable digest of everything that changes an estimate.
+
+        Salts the :class:`~repro.core.planspace.PlanCache` subtree memo,
+        so two estimators sharing one cache with *different* statistics
+        never replay each other's deltas.
+        """
+        return (
+            tuple(sorted(self.selectivity.items())),
+            tuple(sorted(self.result_bytes.items())),
+            self.default_selectivity,
+        )
+
 
 def measure(plan: Plan, system: AXMLSystem, pick_policy=None) -> Cost:
     """Oracle cost: evaluate on a clone of Σ, return the real accounting."""
@@ -113,23 +127,42 @@ class CostEstimator:
     time into the running totals.  Compute time is estimated from input
     sizes and the hosting peer's speed — coarser than the evaluator's
     charging but monotone in the same quantities.
+
+    With a :class:`~repro.core.planspace.PlanCache` attached the walk is
+    *incremental*: each (subexpression, site) pair's contribution —
+    value size plus the bytes/messages/time it adds — is memoized by
+    structural fingerprint, so re-costing a
+    :class:`~repro.core.rules.Rewrite` only walks the rewritten spine
+    and re-uses every untouched subtree from the table.  Per-peer
+    document sizes and compiled logical plans (the statistics fallback)
+    are memoized in the same cache, which the
+    :class:`~repro.workloads.harness.DifferentialHarness` shares across
+    a whole sweep.  The memo assumes Σ's documents and statistics are
+    stable; clear the cache after mutating the system.
     """
 
     ENVELOPE = 64  # keep aligned with Message.ENVELOPE_OVERHEAD
 
     def __init__(self, system: AXMLSystem, statistics: Optional[Statistics] = None,
-                 count_bytes: bool = True, count_time: bool = True) -> None:
+                 count_bytes: bool = True, count_time: bool = True,
+                 cache: Optional[PlanCache] = None) -> None:
         self.system = system
         self.statistics = statistics or Statistics()
         #: ablation switches (A1): ignore byte or time terms entirely.
         self.count_bytes = count_bytes
         self.count_time = count_time
+        #: memo for subtree deltas / doc sizes / compiled plans (optional).
+        self.cache = cache
 
     # -- public -------------------------------------------------------------
     def estimate(self, plan: Plan) -> Cost:
         self._bytes = 0
         self._messages = 0
         self._time = 0.0
+        # re-read each run: Statistics are mutable and the salt keeps
+        # cache entries honest if they changed (count_bytes/count_time
+        # need no salt — raw deltas are masked only at the very end)
+        self._memo_salt = self.statistics.memo_token()
         self._visit(plan.expr, plan.site)
         return Cost(
             self._bytes if self.count_bytes else 0,
@@ -159,10 +192,18 @@ class CostEstimator:
 
     # -- sizes ------------------------------------------------------------------
     def _doc_bytes(self, name: str, home: str) -> int:
+        if self.cache is not None:
+            cached = self.cache.doc_sizes.get((name, home))
+            if cached is not None:
+                return cached
         peer = self.system.peer(home)
         if peer.has_document(name):
-            return peer.document(name).serialized_size()
-        return 1024  # unknown (e.g. temp doc created mid-plan): nominal
+            size = peer.document(name).serialized_size()
+        else:
+            size = 1024  # unknown (e.g. temp doc created mid-plan): nominal
+        if self.cache is not None:
+            self.cache.doc_sizes[(name, home)] = size
+        return size
 
     def _plan_estimate(self, head: QueryRef, input_bytes: int) -> Optional[int]:
         """Selectivity from the compiled logical plan, when it compiles.
@@ -174,9 +215,21 @@ class CostEstimator:
         from ..errors import XQueryError
         from ..xquery.algebra import SourceStats, compile_query
 
-        try:
-            plan = compile_query(head.query.module)
-        except XQueryError:
+        plan = None
+        compiled = False
+        if self.cache is not None:
+            source = head.query.source
+            if source in self.cache.compiled_queries:
+                plan = self.cache.compiled_queries[source]
+                compiled = True
+        if not compiled:
+            try:
+                plan = compile_query(head.query.module)
+            except XQueryError:
+                plan = None
+            if self.cache is not None:
+                self.cache.compiled_queries[head.query.source] = plan
+        if plan is None:
             return None
         item_bytes = 100
         stats = SourceStats(
@@ -187,6 +240,38 @@ class CostEstimator:
 
     # -- walk -----------------------------------------------------------------
     def _visit(self, expr: Expression, site: str) -> int:
+        """Estimated value size at ``site``; totals accumulate as a side effect.
+
+        The memoized path records, per (subexpression fingerprint, site),
+        the returned size plus the bytes/messages/time delta this subtree
+        contributed, and replays that delta on a hit without recursing —
+        re-costing a rewritten plan therefore only walks the nodes the
+        rewrite actually changed (plus their ancestors).
+        """
+        cache = self.cache
+        if cache is None:
+            return self._visit_node(expr, site)
+        key = (self._memo_salt, expression_fingerprint(expr), site)
+        hit = cache.subtree_costs.get(key)
+        if hit is not None:
+            size, d_bytes, d_messages, d_time = hit
+            self._bytes += d_bytes
+            self._messages += d_messages
+            self._time += d_time
+            cache.stats.estimator_hits += 1
+            return size
+        bytes0, messages0, time0 = self._bytes, self._messages, self._time
+        size = self._visit_node(expr, site)
+        cache.subtree_costs[key] = (
+            size,
+            self._bytes - bytes0,
+            self._messages - messages0,
+            self._time - time0,
+        )
+        cache.stats.estimator_misses += 1
+        return size
+
+    def _visit_node(self, expr: Expression, site: str) -> int:
         """Returns estimated size (bytes) of the value at ``site``."""
         if isinstance(expr, TreeExpr):
             size = expr.tree.serialized_size()

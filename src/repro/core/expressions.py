@@ -99,13 +99,21 @@ class TreeExpr(Expression):
         return f"tree(<{self.tree.tag}>)@{self.home}"
 
     def __hash__(self) -> int:
-        return hash((id(self.tree), self.home))
+        # structural, not id()-based: equal literals hash alike even when
+        # the trees are distinct copies (e.g. across AXMLSystem.clone()),
+        # so plan dedup works on content.  The fingerprint is cached on
+        # the element, so this is O(1) on finished trees.
+        return hash((self.tree.content_fingerprint(), self.home))
 
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, TreeExpr)
-            and other.tree is self.tree
             and other.home == self.home
+            and (
+                other.tree is self.tree
+                or other.tree.content_fingerprint()
+                == self.tree.content_fingerprint()
+            )
         )
 
 

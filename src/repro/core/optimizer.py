@@ -26,6 +26,7 @@ from typing import Callable, Optional, Sequence, Union
 
 from ..peers.system import AXMLSystem
 from .cost import Cost
+from .planspace import PlanCache
 from .rules import DEFAULT_RULES, Plan, RewriteRule
 from .strategies import (
     BeamSearchStrategy,
@@ -49,11 +50,15 @@ class Optimizer:
         rules: Sequence[RewriteRule] = DEFAULT_RULES,
         cost_fn: Optional[CostFn] = None,
         verifier: Optional[Callable[[Plan, Plan], bool]] = None,
+        cache: Optional[PlanCache] = None,
     ) -> None:
         self.system = system
         self.rules = list(rules)
         self.cost_fn: Optional[CostFn] = cost_fn
         self.verifier = verifier
+        #: Transposition table shared by every search space this optimizer
+        #: hands out; ``None`` means unmemoized search (see planspace).
+        self.cache = cache
 
     # -- search space ----------------------------------------------------------
     def search_space(self, verify: bool = False) -> SearchSpace:
@@ -64,6 +69,7 @@ class Optimizer:
             cost_fn=self.cost_fn,
             verifier=self.verifier,
             verify=verify,
+            cache=self.cache,
         )
 
     # -- strategy entry points -------------------------------------------------

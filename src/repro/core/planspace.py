@@ -1,0 +1,179 @@
+"""Plan-space memoization: canonical fingerprints and a transposition table.
+
+The optimizer's rewrite space (Section 3.3) is a graph, not a tree: the
+same plan is reachable through many rule orders (apply rule A at one
+subexpression then B at another, or B then A — same plan).  Searching it
+as a tree re-costs and re-expands structurally identical plans
+exponentially often; the classic fix from cost-based optimizers (and from
+decision-diagram packages: unique canonical representatives plus an
+operation cache) is to key every plan by a *canonical fingerprint* and
+memoize per key.
+
+* :func:`plan_fingerprint` — a structural digest of a plan derived from
+  the XML serialization of :mod:`repro.core.serialize` (never from object
+  identity), interned so equal plans share one key object;
+* :class:`PlanCache` — the transposition table: plan cost and rule
+  expansions per fingerprint, plus the :class:`~repro.core.cost.CostEstimator`'s
+  subtree/doc-size/compiled-query memos, with hit/miss/dedup counters;
+* :class:`CacheStats` — the counter block, snapshot-diffable so each
+  search can report exactly its own share of a shared cache's traffic.
+
+One :class:`PlanCache` may be shared across strategies and across
+searches (the :class:`~repro.session.Session` and the
+:class:`~repro.workloads.harness.DifferentialHarness` both do), under one
+contract: **the cached values are only valid while Σ's observable
+statistics are stable**.  Costs are deterministic functions of (plan, Σ);
+mutate the system and the table must be :meth:`~PlanCache.clear`-ed.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .rules import Plan, Rewrite
+from .serialize import expression_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .cost import Cost
+
+__all__ = ["plan_fingerprint", "CacheStats", "PlanCache"]
+
+#: Sentinel cached for plans the cost function cannot evaluate, so a
+#: failing candidate is not re-measured on every re-reach.
+UNEVALUABLE = object()
+
+
+def plan_fingerprint(plan: Plan) -> str:
+    """Canonical, interned key for a plan: site + structural expression digest.
+
+    Two plans share a key iff they have the same evaluation site and
+    structurally equal expressions (tree literals compared by content).
+    The string is interned so every holder of an equal plan carries the
+    *same* key object and dict lookups degrade to pointer comparisons.
+    """
+    return sys.intern(f"{plan.site}|{expression_fingerprint(plan.expr)}")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/dedup counters for one cache (or one search's delta).
+
+    ``plans_deduped`` counts candidate plans a strategy skipped because
+    their fingerprint was already processed this search; ``cost_hits``
+    are cost lookups answered from the table (each one is a cost-function
+    invocation saved); ``cost_misses`` are actual cost-function calls.
+    """
+
+    cost_hits: int = 0
+    cost_misses: int = 0
+    expand_hits: int = 0
+    expand_misses: int = 0
+    plans_deduped: int = 0
+    estimator_hits: int = 0
+    estimator_misses: int = 0
+
+    @property
+    def cost_calls_saved(self) -> int:
+        return self.cost_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cost lookups answered without invoking the cost fn."""
+        total = self.cost_hits + self.cost_misses
+        return self.cost_hits / total if total else 0.0
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(**self.as_dict())
+
+    def delta_since(self, baseline: "CacheStats") -> "CacheStats":
+        """Counter-wise difference (per-search share of a shared cache)."""
+        return CacheStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(baseline, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def describe(self) -> str:
+        return (
+            f"cache: {self.cost_hits} cost hits / {self.cost_misses} misses "
+            f"({self.hit_rate:.0%} hit rate), {self.plans_deduped} plans "
+            f"deduped, {self.expand_hits} expansions reused"
+        )
+
+
+class PlanCache:
+    """Transposition table over canonical plan fingerprints.
+
+    Stores, per plan key: the plan's cost (or an "unevaluable" verdict)
+    and the full list of rule rewrites; and, for the static
+    :class:`~repro.core.cost.CostEstimator`, per-(subexpression, site)
+    cost deltas, per-(document, peer) sizes, and compiled logical plans
+    per query source.  ``stats`` accumulates over the cache's lifetime;
+    callers wanting per-search numbers snapshot and diff via
+    :meth:`CacheStats.delta_since`.
+    """
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+        self._costs: Dict[str, object] = {}
+        self._expansions: Dict[str, Tuple[Rewrite, ...]] = {}
+        #: (statistics token, expression fingerprint, site) ->
+        #: (value size, bytes, msgs, time); the token keeps estimators
+        #: with different Statistics from replaying each other's deltas
+        self.subtree_costs: Dict[Tuple, Tuple[int, int, int, float]] = {}
+        #: (document name, home peer) -> serialized bytes
+        self.doc_sizes: Dict[Tuple[str, str], int] = {}
+        #: query source -> compiled logical plan (or None when uncompilable)
+        self.compiled_queries: Dict[str, object] = {}
+
+    # -- transposition table ------------------------------------------------
+    def lookup_cost(self, key: str) -> Tuple[bool, Optional["Cost"]]:
+        """``(hit, cost)``; a hit with ``None`` means "known unevaluable"."""
+        entry = self._costs.get(key, _MISS)
+        if entry is _MISS:
+            return False, None
+        return True, None if entry is UNEVALUABLE else entry
+
+    def store_cost(self, key: str, cost: Optional["Cost"]) -> None:
+        self._costs[key] = UNEVALUABLE if cost is None else cost
+
+    def lookup_expansions(self, key: str) -> Optional[List[Rewrite]]:
+        cached = self._expansions.get(key)
+        return None if cached is None else list(cached)
+
+    def store_expansions(self, key: str, rewrites: List[Rewrite]) -> None:
+        self._expansions[key] = tuple(rewrites)
+
+    # -- bookkeeping --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._costs)
+
+    @property
+    def distinct_plans(self) -> int:
+        """Distinct plan fingerprints with a cached cost."""
+        return len(self._costs)
+
+    def clear(self) -> None:
+        """Forget everything (call after mutating Σ); counters survive."""
+        self._costs.clear()
+        self._expansions.clear()
+        self.subtree_costs.clear()
+        self.doc_sizes.clear()
+        self.compiled_queries.clear()
+
+    def describe(self) -> str:
+        return (
+            f"{self.distinct_plans} plans cached, "
+            f"{len(self._expansions)} expansions, "
+            f"{len(self.subtree_costs)} subtree estimates; "
+            + self.stats.describe()
+        )
+
+
+_MISS = object()

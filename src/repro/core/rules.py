@@ -31,6 +31,7 @@ Paper-to-class map:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from hashlib import blake2b
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import DecompositionError, RewriteError
@@ -314,8 +315,6 @@ class TransferReuse(RewriteRule):
 
     name = "transfer-reuse(13)"
 
-    _counter = 0
-
     def apply(self, plan: Plan, system: AXMLSystem) -> List[Rewrite]:
         occurrences: dict = {}
         for node in walk(plan.expr):
@@ -325,8 +324,16 @@ class TransferReuse(RewriteRule):
         for doc_expr, count in occurrences.items():
             if count < 2:
                 continue
-            TransferReuse._counter += 1
-            local_name = f"tmp-reuse-{TransferReuse._counter}"
+            # deterministic name: the same logical rewrite must produce the
+            # same plan every time it is enumerated, or plan fingerprints
+            # (and any caching keyed on them) would never match across
+            # searches.  The digest keeps it injective over (name, home) —
+            # a plain join would alias e.g. ("a-b","c") with ("a","b-c").
+            pair = blake2b(
+                f"{doc_expr.name}\x00{doc_expr.home}".encode("utf-8"),
+                digest_size=6,
+            ).hexdigest()
+            local_name = f"tmp-reuse-{doc_expr.name}-{pair}"
             local = DocExpr(local_name, plan.site)
 
             def substitute(node: Expression) -> Optional[Expression]:

@@ -13,7 +13,8 @@ literals round-trip by content).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from hashlib import blake2b
+from typing import Callable, Dict, List
 
 from ..errors import ExpressionError
 from ..xmlcore.model import Element, NodeId, element
@@ -38,7 +39,14 @@ from .expressions import (
     TreeExpr,
 )
 
-__all__ = ["to_xml", "from_xml", "expression_size", "expression_to_text", "expression_from_text"]
+__all__ = [
+    "to_xml",
+    "from_xml",
+    "expression_size",
+    "expression_to_text",
+    "expression_from_text",
+    "expression_fingerprint",
+]
 
 
 def to_xml(expr: Expression) -> Element:
@@ -87,7 +95,7 @@ def to_xml(expr: Expression) -> Element:
         node = element("x-send")
         node.append(_dest_to_xml(expr.dest))
         if expr.via:
-            node.attrs["via"] = " ".join(expr.via)
+            node.set_attr("via", " ".join(expr.via))
         node.append(to_xml(expr.payload))
         return node
     if isinstance(expr, EvalAt):
@@ -209,3 +217,85 @@ def expression_from_text(text: str) -> Expression:
 def expression_size(expr: Expression) -> int:
     """Bytes of the serialized expression — the code-shipping cost."""
     return len(expression_to_text(expr).encode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Structural fingerprints
+# ---------------------------------------------------------------------------
+
+def expression_fingerprint(expr: Expression) -> str:
+    """Digest of the expression's XML form, without building or copying it.
+
+    Two expressions fingerprint equal iff their :func:`to_xml` serializations
+    are structurally equal — the canonical identity the plan cache keys on.
+    Unlike ``expression_to_text`` this never copies tree literals: it feeds
+    the same constructor/attribute tokens ``to_xml`` would emit straight
+    into a hash, and folds in the (cached) content fingerprint of each
+    :class:`TreeExpr` subtree.  Cost is one walk of the expression, O(1)
+    per already-fingerprinted tree literal.
+    """
+    digest = blake2b(digest_size=12)
+    _fingerprint_into(expr, digest.update)
+    return digest.hexdigest()
+
+
+def _fingerprint_into(expr: Expression, feed: Callable[[bytes], None]) -> None:
+    def token(*parts: str) -> None:
+        for part in parts:
+            feed(part.encode("utf-8"))
+            feed(b"\x00")
+
+    if isinstance(expr, TreeExpr):
+        token("x-tree", expr.home, expr.tree.content_fingerprint())
+    elif isinstance(expr, DocExpr):
+        token("x-doc", expr.name, expr.home)
+    elif isinstance(expr, GenericDoc):
+        token("x-doc", expr.name, ANY)
+    elif isinstance(expr, QueryRef):
+        token(
+            "x-query",
+            expr.home,
+            " ".join(expr.query.params),
+            expr.query.name or "",
+            expr.query.source,
+        )
+    elif isinstance(expr, GenericService):
+        token("x-service", expr.name, ANY)
+    elif isinstance(expr, QueryApply):
+        token("x-apply")
+        _fingerprint_into(expr.query, feed)
+        token("x-args", str(len(expr.args)))
+        for arg in expr.args:
+            _fingerprint_into(arg, feed)
+    elif isinstance(expr, ServiceCallExpr):
+        token("x-sc", expr.provider, expr.service, str(len(expr.params)))
+        for param in expr.params:
+            _fingerprint_into(param, feed)
+        for target in expr.forwards:
+            token("x-forw", str(target))
+    elif isinstance(expr, Send):
+        token("x-send", " ".join(expr.via))
+        _fingerprint_dest(expr.dest, token)
+        _fingerprint_into(expr.payload, feed)
+    elif isinstance(expr, EvalAt):
+        token("x-eval", expr.peer)
+        _fingerprint_into(expr.expr, feed)
+    elif isinstance(expr, Seq):
+        token("x-seq", str(len(expr.steps)))
+        for step in expr.steps:
+            _fingerprint_into(step, feed)
+    else:
+        raise ExpressionError(f"cannot fingerprint {type(expr).__name__}")
+
+
+def _fingerprint_dest(dest, token) -> None:
+    if isinstance(dest, PeerDest):
+        token("x-dest", "peer", dest.peer)
+    elif isinstance(dest, NodesDest):
+        token("x-dest", "nodes", *[str(n) for n in dest.nodes])
+    elif isinstance(dest, DocDest):
+        token("x-dest", "doc", dest.name, dest.peer)
+    else:
+        raise ExpressionError(
+            f"cannot fingerprint destination {type(dest).__name__}"
+        )

@@ -38,6 +38,7 @@ from typing import (
 from ..errors import OptimizerError
 from ..peers.system import AXMLSystem
 from .cost import Cost, measure
+from .planspace import CacheStats, PlanCache, plan_fingerprint
 from .rules import DEFAULT_RULES, Plan, Rewrite, RewriteRule
 
 __all__ = [
@@ -82,6 +83,9 @@ class OptimizationResult:
     trace: List[Tuple[Plan, Cost, str]] = field(default_factory=list)
     #: Name of the strategy that produced this result.
     strategy: str = ""
+    #: Plan-cache traffic attributable to this search (hits, misses,
+    #: dedup skips); ``None`` for strategies that do not report it.
+    cache: Optional[CacheStats] = None
 
     @property
     def improvement(self) -> float:
@@ -95,6 +99,8 @@ class OptimizationResult:
             f"explored: {self.explored} plans",
             f"plan:     {self.best.describe()}",
         ]
+        if self.cache is not None:
+            lines.append(self.cache.describe())
         return "\n".join(lines)
 
 
@@ -103,7 +109,16 @@ class SearchSpace:
 
     Bundles the system Σ, the rule set, the cost function and the
     (optional) equivalence verifier so every strategy sees the same
-    space through the same three operations.
+    space through the same three operations — plus, when a
+    :class:`~repro.core.planspace.PlanCache` is attached, the memoization
+    layer: :meth:`score` and :meth:`expand` are answered from the
+    transposition table when the plan's canonical fingerprint has been
+    seen before (possibly by a *different* strategy sharing the cache),
+    so each distinct plan is costed and rule-expanded at most once.
+
+    ``metrics`` counts this space's cache traffic; strategies snapshot it
+    around a search to report their own delta (shared caches make the
+    cache's global counters span many searches).
     """
 
     def __init__(
@@ -113,15 +128,39 @@ class SearchSpace:
         cost_fn: Optional[CostFn] = None,
         verifier: Optional[Callable[[Plan, Plan], bool]] = None,
         verify: bool = False,
+        cache: Optional[PlanCache] = None,
     ) -> None:
         self.system = system
         self.rules = list(rules)
         self.cost_fn: CostFn = cost_fn or (lambda plan: measure(plan, system))
         self.verifier = verifier
         self.verify = verify
+        self.cache = cache
+        self.metrics = CacheStats()
 
-    def expand(self, plan: Plan) -> List[Rewrite]:
-        """Every rewrite any rule proposes for ``plan``."""
+    @property
+    def memoized(self) -> bool:
+        return self.cache is not None
+
+    def plan_key(self, plan: Plan) -> str:
+        """Canonical interned fingerprint (see :func:`plan_fingerprint`)."""
+        return plan_fingerprint(plan)
+
+    def note_dedup(self) -> None:
+        """A strategy skipped a candidate already processed this search."""
+        self.metrics.plans_deduped += 1
+        if self.cache is not None:
+            self.cache.stats.plans_deduped += 1
+
+    def expand(self, plan: Plan, key: Optional[str] = None) -> List[Rewrite]:
+        """Every rewrite any rule proposes for ``plan`` (memoized)."""
+        if self.cache is not None:
+            key = key or self.plan_key(plan)
+            cached = self.cache.lookup_expansions(key)
+            if cached is not None:
+                self.metrics.expand_hits += 1
+                self.cache.stats.expand_hits += 1
+                return cached
         rewrites: List[Rewrite] = []
         for rule in self.rules:
             try:
@@ -129,13 +168,34 @@ class SearchSpace:
             except Exception:
                 # a rule failing to match/apply must never kill the search
                 continue
+        self.metrics.expand_misses += 1
+        if self.cache is not None:
+            self.cache.stats.expand_misses += 1
+            self.cache.store_expansions(key, rewrites)
         return rewrites
 
-    def score(self, plan: Plan) -> Optional[Cost]:
+    def score(self, plan: Plan, key: Optional[str] = None) -> Optional[Cost]:
+        """Cost of ``plan`` (``None`` when unevaluable), memoized.
+
+        A table hit — including a hit on the "unevaluable" verdict — is a
+        cost-function invocation saved.
+        """
+        if self.cache is not None:
+            key = key or self.plan_key(plan)
+            hit, cached = self.cache.lookup_cost(key)
+            if hit:
+                self.metrics.cost_hits += 1
+                self.cache.stats.cost_hits += 1
+                return cached
         try:
-            return self.cost_fn(plan)
+            cost: Optional[Cost] = self.cost_fn(plan)
         except Exception:
-            return None  # unevaluable candidate (e.g. undefined send)
+            cost = None  # unevaluable candidate (e.g. undefined send)
+        self.metrics.cost_misses += 1
+        if self.cache is not None:
+            self.cache.stats.cost_misses += 1
+            self.cache.store_cost(key, cost)
+        return cost
 
     def score_original(self, plan: Plan) -> Cost:
         cost = self.score(plan)
@@ -175,8 +235,13 @@ class BeamSearchStrategy:
         self.beam = beam
 
     def search(self, plan: Plan, space: SearchSpace) -> OptimizationResult:
+        metrics_baseline = space.metrics.copy()
         original_cost = space.score_original(plan)
-        seen: Dict[str, Cost] = {plan.describe(): original_cost}
+        # visited is part of the algorithm (revisits waste beam slots),
+        # keyed on canonical fingerprints so plans reached by different
+        # rewrite orders — or differing only in tree-literal identity —
+        # count as one.
+        visited = {space.plan_key(plan)}
         trace: List[Tuple[Plan, Cost, str]] = [(plan, original_cost, "original")]
         frontier: List[Tuple[Cost, Plan]] = [(original_cost, plan)]
         best_plan, best_cost = plan, original_cost
@@ -186,15 +251,16 @@ class BeamSearchStrategy:
             candidates: List[Tuple[Cost, Plan, str]] = []
             for _, current in frontier:
                 for rewrite in space.expand(current):
-                    key = rewrite.plan.describe()
-                    if key in seen:
+                    key = space.plan_key(rewrite.plan)
+                    if key in visited:
+                        space.note_dedup()
                         continue
-                    cost = space.score(rewrite.plan)
+                    cost = space.score(rewrite.plan, key)
                     if cost is None:
                         continue
                     if not space.admissible(plan, rewrite.plan):
                         continue
-                    seen[key] = cost
+                    visited.add(key)
                     explored += 1
                     candidates.append((cost, rewrite.plan, rewrite.rule))
                     trace.append((rewrite.plan, cost, rewrite.rule))
@@ -215,6 +281,7 @@ class BeamSearchStrategy:
             explored=explored,
             trace=trace,
             strategy=self.name,
+            cache=space.metrics.delta_since(metrics_baseline),
         )
 
 
@@ -227,12 +294,16 @@ class GreedyStrategy:
         self.max_steps = max_steps
 
     def search(self, plan: Plan, space: SearchSpace) -> OptimizationResult:
+        metrics_baseline = space.metrics.copy()
         original_cost = space.score_original(plan)
         current, current_cost = plan, original_cost
         trace: List[Tuple[Plan, Cost, str]] = [(plan, original_cost, "original")]
         explored = 1
         for _ in range(self.max_steps):
             best_step: Optional[Tuple[Cost, Plan, str]] = None
+            # hill climbing deliberately re-scores its whole neighborhood
+            # each step; with a plan cache the heavy overlap between
+            # consecutive neighborhoods becomes table hits.
             for rewrite in space.expand(current):
                 cost = space.score(rewrite.plan)
                 if cost is None:
@@ -256,17 +327,27 @@ class GreedyStrategy:
             explored=explored,
             trace=trace,
             strategy=self.name,
+            cache=space.metrics.delta_since(metrics_baseline),
         )
 
 
 class ExhaustiveStrategy:
     """Breadth-first enumeration of the whole rewrite space, bounded.
 
-    No beam pruning: every distinct rewrite reachable within ``depth``
-    steps is scored, up to a ``max_plans`` budget that keeps combinatorial
-    rule sets from running away.  The budget is a safety rail, not a
-    tuning knob — when it trips, the result is still the best of
-    everything scored so far.
+    No beam pruning: every rewrite reachable within ``depth`` steps is
+    scored, up to a ``max_plans`` budget that keeps combinatorial rule
+    sets from running away.  The budget is a safety rail, not a tuning
+    knob — when it trips, the result is still the best of everything
+    scored so far.
+
+    A per-search visited set (canonical fingerprints) keeps the BFS on
+    *distinct* plans whatever rewrite order reaches them — so the
+    ``max_plans`` budget is spent on genuinely new plans and the chosen
+    best is independent of memoization.  What the transposition table
+    adds on top is cross-search reuse: a second strategy (or a second
+    query over the same Σ) re-costs nothing the table already holds,
+    while an unmemoized space pays the full cost function every time —
+    the gap ``benchmarks/bench_p1_planspace.py`` quantifies.
     """
 
     name = "exhaustive"
@@ -276,8 +357,9 @@ class ExhaustiveStrategy:
         self.max_plans = max_plans
 
     def search(self, plan: Plan, space: SearchSpace) -> OptimizationResult:
+        metrics_baseline = space.metrics.copy()
         original_cost = space.score_original(plan)
-        seen: Dict[str, Cost] = {plan.describe(): original_cost}
+        visited = {space.plan_key(plan)}
         trace: List[Tuple[Plan, Cost, str]] = [(plan, original_cost, "original")]
         frontier: List[Plan] = [plan]
         best_plan, best_cost = plan, original_cost
@@ -291,15 +373,16 @@ class ExhaustiveStrategy:
                 for rewrite in space.expand(current):
                     if explored >= self.max_plans:
                         break
-                    key = rewrite.plan.describe()
-                    if key in seen:
+                    key = space.plan_key(rewrite.plan)
+                    if key in visited:
+                        space.note_dedup()
                         continue
-                    cost = space.score(rewrite.plan)
+                    cost = space.score(rewrite.plan, key)
                     if cost is None:
                         continue
                     if not space.admissible(plan, rewrite.plan):
                         continue
-                    seen[key] = cost
+                    visited.add(key)
                     explored += 1
                     trace.append((rewrite.plan, cost, rewrite.rule))
                     next_frontier.append(rewrite.plan)
@@ -317,6 +400,7 @@ class ExhaustiveStrategy:
             explored=explored,
             trace=trace,
             strategy=self.name,
+            cache=space.metrics.delta_since(metrics_baseline),
         )
 
 

@@ -56,6 +56,7 @@ from .core.expressions import (
     TreeExpr,
 )
 from .core.optimizer import Optimizer
+from .core.planspace import CacheStats, PlanCache
 from .core.rules import DEFAULT_RULES, Plan, RewriteRule
 from .core.strategies import (
     OptimizationResult,
@@ -119,6 +120,12 @@ class ExecutionReport:
     network: Dict[str, object] = field(default_factory=dict)
     #: Per-peer stats: traffic attribution plus compute counters.
     peers: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Search-cache counters for this run (hits / misses / plans
+    #: deduped).  Always populated by the built-in strategies —
+    #: ``cost_misses`` counts actual cost-function invocations even when
+    #: memoization is disabled (hits are then simply zero); ``None``
+    #: only for third-party strategies that do not report metrics.
+    plan_cache: Optional[CacheStats] = None
 
     @property
     def improvement(self) -> float:
@@ -170,6 +177,12 @@ class ExecutionReport:
                     f"  peer {peer_id:12s} {traffic.describe()}, "
                     f"work {stats.get('work_done', 0)}"
                 )
+        if self.plan_cache is not None and (
+            self.plan_cache.cost_hits
+            or self.plan_cache.plans_deduped
+            or self.plan_cache.expand_hits
+        ):
+            lines.append(f"{'':13s}{self.plan_cache.describe()}")
         if include_trace is None:
             include_trace = bool(self.trace)
         if include_trace and self.trace:
@@ -208,6 +221,18 @@ class Session:
         to false to let side effects (sends, deployments) land on the
         live system; the system is then :meth:`~AXMLSystem.reset` before
         each run so the report's accounting covers exactly that run.
+    plan_cache:
+        The plan-space transposition table
+        (:class:`~repro.core.planspace.PlanCache`).  By default the
+        session creates its own, so every distinct plan is costed and
+        rule-expanded at most once per search — and, because isolated
+        runs never mutate Σ, the table keeps paying off across runs.
+        Pass an existing cache to share it between sessions over the
+        *same* system state, or ``plan_cache=None`` to disable
+        memoization entirely (debugging aid: same best plans, but every
+        search re-costs and re-expands the whole space from scratch).
+        Sessions with ``isolate=False`` clear the table before each
+        run, since executions mutate Σ.
     """
 
     def __init__(
@@ -222,6 +247,7 @@ class Session:
         pick_policy=None,
         isolate: bool = True,
         strategy_options: Optional[Mapping] = None,
+        plan_cache: Union[PlanCache, None, str] = "auto",
     ) -> None:
         self.system = system
         self.strategy = make_strategy(strategy, **dict(strategy_options or {}))
@@ -229,6 +255,14 @@ class Session:
         self.trace = trace
         self.pick_policy = pick_policy
         self.isolate = isolate
+        if isinstance(plan_cache, str):
+            if plan_cache != "auto":
+                raise SessionError(
+                    f"plan_cache must be a PlanCache, None, or 'auto'; "
+                    f"got {plan_cache!r}"
+                )
+            plan_cache = PlanCache()
+        self.plan_cache = plan_cache
         if cost_fn is None:
             cost_fn = lambda plan: measure(plan, system, pick_policy)
         #: Equivalence verdicts from the current pipeline run, keyed by
@@ -238,7 +272,11 @@ class Session:
         self._verify_cache: Dict[Tuple[str, str], VerificationResult] = {}
         verifier = self._verified_equivalent if verify else None
         self.optimizer = Optimizer(
-            system, rules=rules, cost_fn=cost_fn, verifier=verifier
+            system,
+            rules=rules,
+            cost_fn=cost_fn,
+            verifier=verifier,
+            cache=self.plan_cache,
         )
 
     def _verified_equivalent(self, left: Plan, right: Plan) -> bool:
@@ -422,7 +460,8 @@ class Session:
 
     def _optimize(self, plan: Plan, optimize: bool) -> OptimizationResult:
         if not optimize:
-            cost = self.optimizer.search_space().score_original(plan)
+            space = self.optimizer.search_space()
+            cost = space.score_original(plan)
             return OptimizationResult(
                 best=plan,
                 best_cost=cost,
@@ -430,6 +469,7 @@ class Session:
                 explored=1,
                 trace=[(plan, cost, "original")],
                 strategy="none",
+                cache=space.metrics.copy(),
             )
         return self.optimizer.optimize_with(self.strategy, plan, verify=self.verify)
 
@@ -443,6 +483,9 @@ class Session:
         decomposition: Optional[Decomposition] = None,
     ) -> ExecutionReport:
         self._verify_cache.clear()  # Σ may have changed since the last run
+        if self.plan_cache is not None and not self.isolate:
+            # non-isolated executions mutate Σ, so cached costs are stale
+            self.plan_cache.clear()
         result = self._optimize(plan, optimize)
         verification: Optional[VerificationResult] = None
         if self.verify:
@@ -462,6 +505,7 @@ class Session:
             trace=list(result.trace) if self.trace else [],
             verification=verification,
             decomposition=decomposition,
+            plan_cache=result.cache,
         )
         if execute:
             self._execute(report)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.cost import Cost
+from ..core.planspace import CacheStats, PlanCache
 from ..core.strategies import improvement_ratio
 from ..errors import DifferentialMismatchError, WorkloadError
 from ..session import Session
@@ -216,6 +217,9 @@ class ScenarioReport:
 
     scenario: Scenario
     results: List[QueryDifferential] = field(default_factory=list)
+    #: Plan-cache counters for the scenario's shared transposition table
+    #: (``None`` when the harness ran with ``share_plan_cache=False``).
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def ok(self) -> bool:
@@ -232,10 +236,13 @@ class ScenarioReport:
             for result in self.results
             for outcome in result.outcomes.values()
         )
-        return (
+        line = (
             f"{self.scenario.describe()}: {verdict} "
             f"({len(self.results)} queries, {explored} plans scored)"
         )
+        if self.cache_stats is not None and self.cache_stats.cost_hits:
+            line += f" [{self.cache_stats.describe()}]"
+        return line
 
 
 @dataclass
@@ -265,12 +272,23 @@ class HarnessReport:
             for outcome in result.outcomes.values()
         )
 
+    @property
+    def cost_calls_saved(self) -> int:
+        """Cost-function invocations the shared plan caches absorbed."""
+        return sum(
+            report.cache_stats.cost_hits
+            for report in self.reports
+            if report.cache_stats is not None
+        )
+
     def describe(self) -> str:
         verdict = "ok" if self.ok else f"{len(self.mismatches)} MISMATCHES"
+        saved = self.cost_calls_saved
+        saved_note = f", {saved} cost calls saved" if saved else ""
         lines = [
             f"differential sweep: {len(self.reports)} scenarios, "
             f"{self.queries_checked} queries, {self.plans_explored} plans "
-            f"scored -> {verdict}"
+            f"scored{saved_note} -> {verdict}"
         ]
         for mismatch in self.mismatches:
             lines.append(mismatch.describe())
@@ -293,6 +311,16 @@ class DifferentialHarness:
     minimize:
         Shrink mismatching scenarios (halving document sizes while the
         disagreement still reproduces) before recording them.
+    share_plan_cache:
+        When true (default), every (query, strategy) cell of one
+        scenario shares one
+        :class:`~repro.core.planspace.PlanCache`: the strategies search
+        the same rewrite space over the same (never-mutated, isolated)
+        Σ, so each distinct plan is costed and rule-expanded once for
+        the whole scenario instead of once per strategy.  The cache is
+        scoped strictly per scenario — a *shrunk* scenario regenerates
+        the same peer and document names with different contents, so
+        sharing across scenarios would serve stale costs.
     """
 
     def __init__(
@@ -302,6 +330,7 @@ class DifferentialHarness:
         pick_policy=None,
         repro_dir: Optional[str] = "workload-repros",
         minimize: bool = True,
+        share_plan_cache: bool = True,
     ) -> None:
         if len(strategies) < 2:
             raise WorkloadError(
@@ -317,17 +346,27 @@ class DifferentialHarness:
         self.pick_policy = pick_policy
         self.repro_dir = repro_dir
         self.minimize = minimize
+        self.share_plan_cache = share_plan_cache
 
     # -- running -----------------------------------------------------------------
     def run_query(
-        self, scenario: Scenario, query: GeneratedQuery, strategy: str
+        self,
+        scenario: Scenario,
+        query: GeneratedQuery,
+        strategy: str,
+        plan_cache: Optional[PlanCache] = None,
     ) -> StrategyOutcome:
-        """One (query, strategy) cell: run through the façade, canonicalize."""
+        """One (query, strategy) cell: run through the façade, canonicalize.
+
+        ``plan_cache`` shares a transposition table with other cells of
+        the same scenario; without one the session keeps a private cache.
+        """
         session = Session(
             scenario.system,
             strategy=strategy,
             strategy_options=self.strategy_options.get(strategy),
             pick_policy=self.pick_policy,
+            plan_cache=plan_cache if plan_cache is not None else "auto",
         )
         report = session.query(**query.kwargs())
         answers = tuple(
@@ -342,10 +381,15 @@ class DifferentialHarness:
         )
 
     def check_query(
-        self, scenario: Scenario, query: GeneratedQuery
+        self,
+        scenario: Scenario,
+        query: GeneratedQuery,
+        plan_cache: Optional[PlanCache] = None,
     ) -> QueryDifferential:
+        if plan_cache is None and self.share_plan_cache:
+            plan_cache = PlanCache()
         outcomes = {
-            strategy: self.run_query(scenario, query, strategy)
+            strategy: self.run_query(scenario, query, strategy, plan_cache)
             for strategy in self.strategies
         }
         result = QueryDifferential(query=query, outcomes=outcomes)
@@ -356,8 +400,14 @@ class DifferentialHarness:
 
     def check_scenario(self, scenario: Scenario) -> ScenarioReport:
         report = ScenarioReport(scenario=scenario)
+        plan_cache = PlanCache() if self.share_plan_cache else None
         for query in scenario.queries:
-            report.results.append(self.check_query(scenario, query))
+            report.results.append(
+                self.check_query(scenario, query, plan_cache)
+            )
+        report.cache_stats = (
+            plan_cache.stats.copy() if plan_cache is not None else None
+        )
         return report
 
     def check(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from hashlib import blake2b
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
 
 __all__ = [
@@ -40,6 +41,10 @@ __all__ = [
 
 #: Reserved label marking service-call nodes in AXML documents (Section 2.2).
 SC_LABEL = "sc"
+
+#: Digest width of :meth:`Node.content_fingerprint` (collision probability
+#: is negligible at the plan-space scales the optimizer enumerates).
+_FP_BYTES = 12
 
 
 @dataclass(frozen=True, order=True)
@@ -104,9 +109,25 @@ class Node:
         """Approximate serialized byte size; used for transfer accounting."""
         raise NotImplementedError
 
+    def content_fingerprint(self) -> str:
+        """Structural digest of the subtree: label, attributes, children.
+
+        Node identifiers are excluded (like :meth:`serialized_size`), so
+        a copy — including copies living on a cloned Σ — fingerprints
+        identically to its original.  Child *order* is preserved: this is
+        the digest of the serialized form, not of the unordered canonical
+        form in :mod:`repro.xmlcore.canon`.
+        """
+        raise NotImplementedError
+
 
 class Text(Node):
-    """A text leaf.  ``value`` holds the character data."""
+    """A text leaf.  ``value`` holds the character data.
+
+    ``value`` is treated as immutable by the caching layer: replace a
+    text node (via its parent's mutators) rather than assigning to
+    ``value`` on a tree whose sizes/fingerprints may be cached.
+    """
 
     __slots__ = ("value",)
 
@@ -123,6 +144,12 @@ class Text(Node):
     def serialized_size(self) -> int:
         return len(self.value.encode("utf-8"))
 
+    def content_fingerprint(self) -> str:
+        digest = blake2b(digest_size=_FP_BYTES)
+        digest.update(b"t\x00")
+        digest.update(self.value.encode("utf-8"))
+        return digest.hexdigest()
+
     def __repr__(self) -> str:
         return f"Text({self.value!r})"
 
@@ -137,12 +164,14 @@ class Element(Node):
     """An element node: label, attributes, ordered children, optional id.
 
     Children are either :class:`Element` or :class:`Text`.  Mutating helpers
-    (:meth:`append`, :meth:`remove`, :meth:`replace_child`) keep parent
-    pointers consistent; use them rather than touching ``children`` directly
-    when restructuring live documents.
+    (:meth:`append`, :meth:`remove`, :meth:`replace_child`, :meth:`set_attr`)
+    keep parent pointers consistent *and* invalidate the cached
+    ``serialized_size`` / ``content_fingerprint`` of every ancestor; use
+    them rather than touching ``children`` or ``attrs`` directly when
+    restructuring live documents, or stale caches will follow.
     """
 
-    __slots__ = ("tag", "attrs", "children", "node_id")
+    __slots__ = ("tag", "attrs", "children", "node_id", "_size_cache", "_fp_cache")
 
     def __init__(
         self,
@@ -156,15 +185,26 @@ class Element(Node):
         self.attrs: Dict[str, str] = dict(attrs) if attrs else {}
         self.children: List[Node] = []
         self.node_id = node_id
+        self._size_cache: Optional[int] = None
+        self._fp_cache: Optional[str] = None
         if children:
             for child in children:
                 self.append(child)
 
     # -- construction / mutation -----------------------------------------
+    def _invalidate_content(self) -> None:
+        """Drop cached size/fingerprint here and on every ancestor."""
+        node: Optional[Element] = self
+        while node is not None:
+            node._size_cache = None
+            node._fp_cache = None
+            node = node.parent
+
     def append(self, child: Node) -> Node:
         """Append ``child`` as the last child and set its parent pointer."""
         child.parent = self
         self.children.append(child)
+        self._invalidate_content()
         return child
 
     def extend(self, children: Iterable[Node]) -> None:
@@ -174,6 +214,7 @@ class Element(Node):
     def insert(self, index: int, child: Node) -> Node:
         child.parent = self
         self.children.insert(index, child)
+        self._invalidate_content()
         return child
 
     def insert_after(self, anchor: Node, child: Node) -> Node:
@@ -188,12 +229,23 @@ class Element(Node):
     def remove(self, child: Node) -> None:
         self.children.remove(child)
         child.parent = None
+        self._invalidate_content()
 
     def replace_child(self, old: Node, new: Node) -> None:
         index = self.index_of(old)
         old.parent = None
         new.parent = self
         self.children[index] = new
+        self._invalidate_content()
+
+    def set_attr(self, name: str, value: str) -> None:
+        """Set an attribute, invalidating cached sizes/fingerprints.
+
+        The cache-safe counterpart of ``self.attrs[name] = value`` for
+        trees that may already have been measured.
+        """
+        self.attrs[name] = value
+        self._invalidate_content()
 
     def detach(self) -> "Element":
         """Remove this element from its parent (if any) and return it."""
@@ -247,6 +299,9 @@ class Element(Node):
         clone = Element(self.tag, dict(self.attrs), node_id=self.node_id)
         for child in self.children:
             clone.append(child.copy())
+        # content is identical, so the copy inherits any cached measurements
+        clone._size_cache = self._size_cache
+        clone._fp_cache = self._fp_cache
         return clone
 
     def copy_without_ids(self) -> "Element":
@@ -258,14 +313,48 @@ class Element(Node):
 
     def serialized_size(self) -> int:
         """Byte size of ``<tag attrs>children</tag>`` in UTF-8, approximated
-        without building the string (used heavily in transfer accounting)."""
+        without building the string (used heavily in transfer accounting).
+
+        Computed once per finished subtree and cached; the mutating helpers
+        invalidate the cache up the ancestor chain, so repeated cost
+        estimation over a stable document is O(1) instead of a tree walk.
+        """
+        if self._size_cache is not None:
+            return self._size_cache
         tag_bytes = len(self.tag.encode("utf-8"))
         size = tag_bytes * 2 + 5  # <tag></tag>
         for name, value in self.attrs.items():
             size += len(name.encode("utf-8")) + len(value.encode("utf-8")) + 4
         for child in self.children:
             size += child.serialized_size()
+        self._size_cache = size
         return size
+
+    def content_fingerprint(self) -> str:
+        """Cached structural digest: tag, sorted attributes, child digests.
+
+        Two elements with equal content (ids aside, attribute order aside)
+        share a fingerprint, which is what lets structurally identical
+        plans — and :class:`~repro.core.expressions.TreeExpr` literals on
+        opposite sides of an :meth:`AXMLSystem.clone` — dedupe to one
+        plan-cache key.  Invalidated together with the size cache.
+        """
+        if self._fp_cache is not None:
+            return self._fp_cache
+        digest = blake2b(digest_size=_FP_BYTES)
+        digest.update(b"e\x00")
+        digest.update(self.tag.encode("utf-8"))
+        for name in sorted(self.attrs):
+            digest.update(b"\x00a")
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(self.attrs[name].encode("utf-8"))
+        for child in self.children:
+            digest.update(b"\x00c")
+            digest.update(child.content_fingerprint().encode("ascii"))
+        fingerprint = digest.hexdigest()
+        self._fp_cache = fingerprint
+        return fingerprint
 
     def __repr__(self) -> str:
         ident = f" id={self.node_id}" if self.node_id else ""

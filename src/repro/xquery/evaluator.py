@@ -613,7 +613,7 @@ class Evaluator:
     def _eval_direct_element(self, node: DirectElement, ctx: DynamicContext) -> List[Item]:
         built = Element(node.tag)
         for attribute in node.attributes:
-            built.attrs[attribute.name] = self._attr_value(attribute, ctx)
+            built.set_attr(attribute.name, self._attr_value(attribute, ctx))
         self._fill_content(built, node.content, ctx)
         return [built]
 
@@ -663,7 +663,7 @@ class Evaluator:
                 flush()
                 parent.append(item.copy())
             elif isinstance(item, AttributeNode):
-                parent.attrs[item.name] = item.value
+                parent.set_attr(item.name, item.value)
             else:
                 pending_atoms.append(string_value(item))
         flush()

@@ -60,10 +60,25 @@ class TestConstruction:
         with pytest.raises(ExpressionError):
             Seq(())
 
-    def test_tree_expr_identity_equality(self):
-        tree = parse("<a/>")
+    def test_tree_expr_structural_equality(self):
+        # equality (and hashing) is by content, not object identity: the
+        # same serialized tree parsed twice is the same literal
+        tree = parse("<a><b>x</b></a>")
         assert TreeExpr(tree, "p") == TreeExpr(tree, "p")
-        assert TreeExpr(tree, "p") != TreeExpr(parse("<a/>"), "p")
+        assert TreeExpr(tree, "p") == TreeExpr(parse("<a><b>x</b></a>"), "p")
+        assert TreeExpr(tree, "p") != TreeExpr(parse("<a><b>y</b></a>"), "p")
+        assert TreeExpr(tree, "p") != TreeExpr(tree, "p2")
+
+    def test_tree_expr_hash_structural_across_copies(self):
+        # regression: __hash__ used to key on id(self.tree), so equal
+        # literals on opposite sides of a deep copy (e.g. an
+        # AXMLSystem.clone()) landed in different dict/set buckets
+        tree = parse("<a><b>x</b></a>")
+        original = TreeExpr(tree, "p")
+        copied = TreeExpr(tree.copy(), "p")
+        assert original == copied
+        assert hash(original) == hash(copied)
+        assert len({original, copied}) == 1
 
     def test_query_ref_equality_by_source(self):
         a = QueryRef(Query("1 + 1"), "p")

@@ -216,3 +216,65 @@ class TestSizeAccounting:
         actual = len(serialize(e).encode("utf-8"))
         approx = e.serialized_size()
         assert abs(actual - approx) / actual < 0.25
+
+
+class TestSizeCaching:
+    """serialized_size is compute-once; mutation helpers invalidate it."""
+
+    def test_cached_value_stable_without_mutation(self):
+        root = element("a", element("b", "payload"))
+        assert root.serialized_size() == root.serialized_size()
+
+    def test_append_invalidates_ancestors(self):
+        inner = element("b", "payload")
+        root = element("a", inner)
+        before = root.serialized_size()
+        inner.append(text("more text"))
+        after = root.serialized_size()
+        assert after == before + len("more text")
+
+    def test_remove_and_replace_invalidate(self):
+        child = element("b", "xx")
+        other = element("c", "a much longer replacement payload")
+        root = element("a", child)
+        before = root.serialized_size()
+        root.replace_child(child, other)
+        assert root.serialized_size() > before
+        root.remove(other)
+        assert root.serialized_size() < before
+
+    def test_set_attr_invalidates(self):
+        root = element("a", element("b"))
+        before = root.serialized_size()
+        root.element_children[0].set_attr("activated", "true")
+        assert root.serialized_size() == before + len("activated") + len("true") + 4
+
+    def test_copy_inherits_cache_and_stays_consistent(self):
+        root = element("a", element("b", "payload"))
+        size = root.serialized_size()
+        clone = root.copy()
+        assert clone.serialized_size() == size
+        clone.append(text("xyz"))
+        assert clone.serialized_size() == size + 3
+        assert root.serialized_size() == size  # original untouched
+
+
+class TestContentFingerprint:
+    def test_equal_content_equal_fingerprint_across_copies(self):
+        root = element("a", element("b", "x"), attrs={"k": "v"})
+        assert root.content_fingerprint() == root.copy().content_fingerprint()
+
+    def test_node_ids_and_attr_order_ignored(self):
+        one = element("a", attrs={"k": "v", "z": "w"})
+        two = element("a", attrs={"z": "w", "k": "v"})
+        two.node_id = NodeId("p", 9)
+        assert one.content_fingerprint() == two.content_fingerprint()
+
+    def test_content_changes_change_fingerprint(self):
+        root = element("a", element("b", "x"))
+        before = root.content_fingerprint()
+        root.element_children[0].append(text("y"))
+        assert root.content_fingerprint() != before
+        root.set_attr("k", "v")
+        two = element("a", element("b", "xy"))
+        assert root.content_fingerprint() != two.content_fingerprint()
