@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""T1 — serving throughput: closed-loop concurrency sweep on one shared Σ.
+
+Workload: a generated multi-peer mesh scenario (`repro.workloads`) with
+replicated generic documents, served through the concurrent engine
+(`repro.engine`).  One fixed request mix (seeded, identical across all
+levels) runs closed-loop at increasing concurrency; every level plans
+through a warm shared `PlanCache` and resolves `@any` replicas with the
+queue-depth admission policy.
+
+Claimed shape (asserted):
+
+* concurrency > 1 beats the sequential baseline's *virtual makespan* —
+  different queries' transfers and compute genuinely overlap on the
+  shared fabric, they don't just serialize end to end;
+* per-job answers are byte-identical across every concurrency level
+  (contention shifts *time*, never *values*); the tests additionally pin
+  answers to solo execution;
+* queries/sec at the top level >= the sequential baseline — the CI gate
+  (`perf-smoke` runs ``--quick`` and fails the build on a regression).
+
+Emits ``benchmarks/results/BENCH_throughput.json`` with per-level
+makespan, queries/sec, latency percentiles, mean peer utilization, and
+the planning wall time (warm vs cold cache).
+
+Run:  python benchmarks/bench_t1_throughput.py [--quick] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import emit, emit_json, format_table, timed_run  # noqa: E402
+
+from repro.engine import LoadGenerator  # noqa: E402
+from repro.session import Session  # noqa: E402
+from repro.workloads import ScenarioGenerator, ScenarioSpec  # noqa: E402
+
+BENCH_ID = "T1"
+JSON_NAME = "BENCH_throughput"
+
+#: One shared mesh with heterogeneous peers and replicated documents —
+#: the regime where replica-aware admission has real choices to make.
+SPEC = ScenarioSpec(
+    peers=6, topology="mesh", documents=4, axml_documents=1,
+    items=20, services=2, replicas=2, queries=6,
+)
+
+CONCURRENCY_LEVELS = (1, 2, 4, 8)
+JOBS = 32
+QUICK_JOBS = 16
+
+
+def serve_level(scenario, load, concurrency: int, jobs: int, seed: int):
+    """One closed-loop run at ``concurrency``; returns (report, seconds)."""
+    session = Session(scenario.system)
+    feed = load.closed_loop(jobs, concurrency)
+    return timed_run(lambda: session.serve(feed=feed, seed=seed))
+
+
+def run_sweep(seed: int, jobs: int):
+    scenario = ScenarioGenerator(seed=seed, spec=SPEC).scenario(0)
+    load = LoadGenerator(scenario, seed=seed + 1)
+    rows = []
+    levels = {}
+    answers_by_level = {}
+    for concurrency in CONCURRENCY_LEVELS:
+        report, seconds = serve_level(scenario, load, concurrency, jobs, seed)
+        metrics = report.metrics
+        assert metrics.failed == 0, (
+            f"{metrics.failed} jobs failed at concurrency {concurrency}"
+        )
+        mean_util = (
+            sum(metrics.utilization.values()) / max(1, len(metrics.utilization))
+        )
+        rows.append((
+            concurrency, metrics.jobs, metrics.makespan * 1000,
+            metrics.queries_per_sec, metrics.latency_p50 * 1000,
+            metrics.latency_p95 * 1000, mean_util * 100, seconds * 1000,
+        ))
+        levels[concurrency] = {
+            "jobs": metrics.jobs,
+            "makespan_ms": round(metrics.makespan * 1000, 3),
+            "queries_per_sec": round(metrics.queries_per_sec, 2),
+            "latency_p50_ms": round(metrics.latency_p50 * 1000, 3),
+            "latency_p95_ms": round(metrics.latency_p95 * 1000, 3),
+            "mean_utilization": round(mean_util, 4),
+            "wall_seconds": round(seconds, 4),
+        }
+        answers_by_level[concurrency] = [
+            (job.name, tuple(job.answers)) for job in report.jobs
+        ]
+    # contention shifts time, never values: every level must agree on
+    # every job's serialized answers (jobs keyed by name; admission order
+    # differs across levels by design)
+    baseline = dict(answers_by_level[CONCURRENCY_LEVELS[0]])
+    for concurrency, answer_list in answers_by_level.items():
+        got = dict(answer_list)
+        assert got == baseline, (
+            f"answers changed under concurrency {concurrency}"
+        )
+    return scenario, rows, levels
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep for CI's perf-smoke job")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="requests per concurrency level")
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs or (QUICK_JOBS if args.quick else JOBS)
+    scenario, rows, levels = run_sweep(args.seed, jobs)
+
+    emit(
+        BENCH_ID,
+        f"serving throughput, closed loop over {scenario.describe()}",
+        format_table(
+            ["conc", "jobs", "makespan ms", "qps", "p50 ms", "p95 ms",
+             "util %", "wall ms"],
+            rows,
+        ),
+    )
+
+    sequential = levels[1]
+    best = max(levels.values(), key=lambda level: level["queries_per_sec"])
+    top = levels[CONCURRENCY_LEVELS[-1]]
+    speedup = sequential["makespan_ms"] / max(1e-9, top["makespan_ms"])
+    payload = {
+        "bench": BENCH_ID,
+        "seed": args.seed,
+        "quick": args.quick,
+        "jobs_per_level": jobs,
+        "scenario": scenario.describe(),
+        "levels": {str(k): v for k, v in levels.items()},
+        "sequential_qps": sequential["queries_per_sec"],
+        "top_concurrency_qps": top["queries_per_sec"],
+        "makespan_speedup_at_top": round(speedup, 3),
+        "identical_answers_across_levels": True,  # asserted in run_sweep
+    }
+    emit_json(JSON_NAME, payload)
+
+    print(
+        f"\nsequential {sequential['queries_per_sec']:.1f} q/s vs "
+        f"concurrency {CONCURRENCY_LEVELS[-1]} "
+        f"{top['queries_per_sec']:.1f} q/s "
+        f"(makespan speedup x{speedup:.2f}); "
+        f"best level: {best['queries_per_sec']:.1f} q/s"
+    )
+
+    # regression gates: concurrency must actually pay on the shared
+    # fabric — a serving engine that serializes everything is a bug
+    if top["makespan_ms"] >= sequential["makespan_ms"]:
+        print("FAIL: concurrent makespan did not beat the sequential baseline")
+        return 1
+    if top["queries_per_sec"] < sequential["queries_per_sec"]:
+        print(
+            f"FAIL: queries/sec at concurrency {CONCURRENCY_LEVELS[-1]} "
+            f"({top['queries_per_sec']:.1f}) dropped below the sequential "
+            f"baseline ({sequential['queries_per_sec']:.1f})"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,7 +35,12 @@ Underneath, the package implements, from scratch:
 * :mod:`repro.core` — the paper's contribution: the expression algebra
   E, eval definitions (1)–(9), equivalence rules (10)–(16), cost model,
   strategy-driven optimizer, and machine-checked equivalence
-  verification.
+  verification;
+* :mod:`repro.engine` — the concurrent serving layer: a multi-query
+  scheduler interleaving jobs as discrete events on one shared Σ, with
+  per-peer compute queues, replica-aware admission, and seeded open- /
+  closed-loop load generation (``session.submit()`` / ``drain()`` /
+  ``serve()``).
 
 Start with ``examples/quickstart.py`` or the README.
 """
@@ -57,4 +62,5 @@ __all__ = [
     "errors",
     "session",
     "workloads",
+    "engine",
 ]

@@ -119,9 +119,26 @@ class ExpressionEvaluator:
     def eval(
         self, expr: Expression, at: str, ready_at: float = 0.0, _depth: int = 0
     ) -> EvalOutcome:
-        """``eval@at(expr)`` starting no earlier than ``ready_at``."""
+        """``eval@at(expr)`` starting no earlier than ``ready_at``.
+
+        ``ready_at`` is the virtual instant the evaluation is *admitted*
+        — a serving job arriving mid-stream hands its arrival time here,
+        so its transfers and compute queue behind whatever the shared
+        links and peers are already committed to.  Top-level evaluations
+        advance :attr:`AXMLSystem.clock
+        <repro.peers.system.AXMLSystem.clock>` to their settle time, the
+        quiescence point the scheduler reads between jobs.
+        """
         if _depth > _MAX_ACTIVATION_DEPTH:
             raise ExpressionError("expression evaluation exceeded depth bound")
+        outcome = self._dispatch(expr, at, ready_at, _depth)
+        if _depth == 0:
+            self.system.clock = max(self.system.clock, outcome.completed_at)
+        return outcome
+
+    def _dispatch(
+        self, expr: Expression, at: str, ready_at: float, _depth: int
+    ) -> EvalOutcome:
         self.system.peer(at)  # validate the site exists
         if isinstance(expr, TreeExpr):
             return self._eval_tree(expr, at, ready_at, _depth)

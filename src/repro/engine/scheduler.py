@@ -1,0 +1,300 @@
+"""The multi-query scheduler: interleaved discrete events on one Σ.
+
+The paper's cost model lives on a *shared* network — links serialize
+transfers FIFO, peers process one thing at a time — yet a single
+:meth:`Session.query <repro.session.Session.query>` only ever threads one
+plan through that fabric.  The scheduler closes the gap: it admits a
+stream of jobs against one serving system and replays them as discrete
+events on the shared virtual clock, so transfers and compute of
+*different* queries contend exactly like the transfers of one.
+
+Mechanics:
+
+* an **event heap** orders admissions and completions by virtual time;
+  ties break deterministically (completions before admissions, then a
+  seeded jitter, then submission order), so the event trace is
+  byte-stable for a fixed seed;
+* each admission optimizes the job through the session's strategy with
+  the session's shared :class:`~repro.core.planspace.PlanCache`
+  (warm-cache serving: the second job over a hot document plans almost
+  for free), then evaluates the chosen plan with ``ready_at`` equal to
+  the admission instant — *not* zero — so the job queues behind every
+  resource commitment made by earlier arrivals;
+* peers are contended resources with explicit **compute queues**: the
+  scheduler charges every peer the chosen plan names for the job's
+  lifetime (:meth:`Peer.enqueue_job <repro.peers.peer.Peer.enqueue_job>`),
+  and the default admission policy
+  (:class:`~repro.peers.registry.QueueDepthPolicy`) resolves generic
+  (``@any``) replicas toward the shallowest queue;
+* completions feed closed-loop load sources
+  (:class:`~repro.engine.loadgen.ClosedLoopFeed`), which admit their next
+  request the instant a slot frees.
+
+Admission order is resource-commitment order: a job admitted at *t*
+owns its link and CPU slots ahead of any job admitted later, which is
+precisely the FIFO semantics :class:`~repro.net.network.Link` already
+implements for one query's transfers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import replace
+from random import Random
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
+
+from ..core.evaluator import ExpressionEvaluator
+from ..errors import ReproError, SessionError
+from ..peers.registry import POLICIES, PickPolicy
+from ..peers.system import AXMLSystem
+from .jobs import DONE, FAILED, PENDING, RUNNING, JobRequest, QueryJob, plan_peers
+from .metrics import ServingReport, summarize
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..session import Session
+
+__all__ = ["Scheduler"]
+
+#: Event kinds, in same-instant processing order: free resources first.
+_COMPLETION = 0
+_ARRIVAL = 1
+_KIND_NAMES = {_COMPLETION: "finish", _ARRIVAL: "admit"}
+
+
+class _ChargingPolicy(PickPolicy):
+    """Wraps the admission policy so every pick charges a compute queue.
+
+    Generic (``@any``) references only resolve *inside* the evaluator, so
+    the scheduler cannot know up front which replica a job will lean on.
+    This wrapper observes each resolution and enqueues the picked peer on
+    the in-flight job — which is exactly the signal
+    :class:`~repro.peers.registry.QueueDepthPolicy` needs to steer the
+    *next* job's pick away from loaded replicas.
+    """
+
+    def __init__(self, inner: Optional[PickPolicy], scheduler: "Scheduler") -> None:
+        self.inner = inner
+        self.scheduler = scheduler
+
+    def choose(self, members, requester, system):
+        from ..peers.registry import FirstPolicy
+
+        member = (self.inner or FirstPolicy()).choose(members, requester, system)
+        self.scheduler._charge_pick(member.peer)
+        return member
+
+
+class Scheduler:
+    """Admits jobs against a shared system and drains them as events.
+
+    Parameters
+    ----------
+    session:
+        The configured :class:`~repro.session.Session` whose optimizer
+        (strategy, rules, shared plan cache) plans every job.  With
+        ``session.isolate`` (the default) serving runs against a clone of
+        Σ taken at :meth:`drain` time; otherwise side effects land on the
+        live system, which is reset to a clean measurement baseline
+        first.
+    seed:
+        Seeds the tie-breaking jitter for same-instant events; the whole
+        event trace is a pure function of (submissions, feed, seed).
+    admission:
+        Pick policy resolving generic (``@any``) references at execution
+        time — a registered policy name or a
+        :class:`~repro.peers.registry.PickPolicy` instance.  Defaults to
+        ``"queue-depth"`` (replica-aware).  ``None`` falls back to the
+        session's ``pick_policy``.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        seed: int = 0,
+        admission: Union[str, PickPolicy, None] = "queue-depth",
+    ) -> None:
+        self.session = session
+        self.seed = seed
+        self._rng = Random(f"engine:{seed}")
+        if isinstance(admission, str):
+            factory = POLICIES.get(admission)
+            if factory is None:
+                raise SessionError(
+                    f"unknown admission policy {admission!r}; "
+                    f"pick one of {', '.join(sorted(POLICIES))}"
+                )
+            admission = factory()
+        self.admission: Optional[PickPolicy] = (
+            admission if admission is not None else session.pick_policy
+        )
+        self._heap: List[Tuple[float, int, float, int, QueryJob]] = []
+        self._seq = 0
+        self.jobs: List[QueryJob] = []
+        self.events: List[str] = []
+        #: "open" (accepting submissions) -> "running" -> "drained".
+        self._state = "open"
+        #: Serving Σ and the job being admitted (set during drain).
+        self._target: Optional[AXMLSystem] = None
+        self._current_job: Optional[QueryJob] = None
+
+    @property
+    def drained(self) -> bool:
+        """True once :meth:`drain` ran (or died trying): one-shot engine."""
+        return self._state != "open"
+
+    # -- submission --------------------------------------------------------------
+    def submit(self, request: JobRequest) -> QueryJob:
+        """Enqueue one request; returns its (pending) job."""
+        if self._state == "drained":
+            raise SessionError(
+                "this engine was already drained; open a new one via submit()"
+            )
+        if request.arrival < 0:
+            raise SessionError(
+                f"job arrival must be non-negative, got {request.arrival!r}"
+            )
+        job = QueryJob(
+            job_id=len(self.jobs), request=request, arrival=request.arrival
+        )
+        self.jobs.append(job)
+        self._push(request.arrival, _ARRIVAL, job)
+        return job
+
+    def submit_all(self, requests: Iterable[JobRequest]) -> List[QueryJob]:
+        return [self.submit(request) for request in requests]
+
+    def _push(self, time: float, kind: int, job: QueryJob) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (time, kind, self._rng.random(), self._seq, job)
+        )
+
+    # -- the event loop ----------------------------------------------------------
+    def drain(self, feed=None) -> ServingReport:
+        """Run every event to quiescence; returns the fleet report.
+
+        ``feed`` is an optional closed-loop source: ``feed.initial()``
+        yields the first wave of requests and ``feed.on_complete(job,
+        now)`` is consulted at every completion for follow-on work (it
+        may return a request, a list of requests, or ``None``).
+        """
+        if self._state != "open":
+            raise SessionError("this engine was already drained")
+        self._state = "running"
+        target = self._serving_system()
+        self._target = target
+        evaluator = ExpressionEvaluator(
+            target, _ChargingPolicy(self.admission, self)
+        )
+        try:
+            if feed is not None:
+                self.submit_all(feed.initial())
+            while self._heap:
+                time, kind, _tie, _seq, job = heapq.heappop(self._heap)
+                self.events.append(
+                    f"{time:.9f} {_KIND_NAMES[kind]} {job.name}"
+                )
+                if kind == _ARRIVAL:
+                    self._admit(job, time, target, evaluator)
+                else:
+                    self._complete(job, time, target, feed)
+        finally:
+            # even a non-ReproError escaping mid-drain (a buggy feed, an
+            # internal assertion) closes the engine for good; the partial
+            # jobs stay inspectable on :attr:`jobs`
+            self._state = "drained"
+        busy = {
+            peer_id: target.peer(peer_id).busy_time
+            for peer_id in target.peers
+        }
+        stats = target.network.stats
+        return ServingReport(
+            jobs=list(self.jobs),
+            metrics=summarize(self.jobs, busy),
+            network={
+                "bytes": stats.bytes,
+                "messages": stats.messages,
+                "bytes_by_kind": dict(stats.bytes_by_kind),
+                "messages_by_kind": dict(stats.by_kind),
+            },
+            peers=target.stats_snapshot(),
+            events=list(self.events),
+        )
+
+    def _serving_system(self) -> AXMLSystem:
+        if self.session.isolate:
+            return self.session.system.clone()
+        target = self.session.system
+        target.reset()
+        if self.session.plan_cache is not None:
+            # serving will mutate the live Σ; start planning from a
+            # coherent table and let it warm over the run itself
+            self.session.plan_cache.clear()
+        return target
+
+    def _admit(
+        self,
+        job: QueryJob,
+        now: float,
+        target: AXMLSystem,
+        evaluator: ExpressionEvaluator,
+    ) -> None:
+        job.status = RUNNING
+        job.admitted_at = now
+        request = job.request
+        self._current_job = job
+        try:
+            report = self.session.plan_job(request)
+            job.peers = plan_peers(report.plan.expr, report.plan.site)
+            for peer_id in job.peers:
+                target.peer(peer_id).enqueue_job()
+            job.started_at = max(
+                now, target.peer(report.plan.site).busy_until
+            )
+            outcome = evaluator.eval(
+                report.plan.expr, report.plan.site, ready_at=now
+            )
+        except ReproError as exc:
+            job.status = FAILED
+            job.error = exc
+            job.finished_at = now
+            self._push(now, _COMPLETION, job)
+            return
+        finally:
+            self._current_job = None
+        job.status = DONE
+        job.finished_at = outcome.completed_at
+        report.items = list(outcome.items)
+        report.executed = True
+        report.completed_at = outcome.completed_at
+        job.report = report
+        self._push(job.finished_at, _COMPLETION, job)
+
+    def _charge_pick(self, peer_id: str) -> None:
+        """A generic pick resolved to ``peer_id``: claim its queue.
+
+        Called by the :class:`_ChargingPolicy` wrapper mid-evaluation; the
+        claim is released with the rest of the job's peers at completion.
+        ``queued`` counts in-flight *jobs* per peer, so a job already
+        holding a claim on the peer does not claim twice.
+        """
+        job = self._current_job
+        if job is None or peer_id in job.peers:
+            return
+        self._target.peer(peer_id).enqueue_job()
+        job.peers = job.peers + (peer_id,)
+
+    def _complete(self, job: QueryJob, now: float, target, feed) -> None:
+        for peer_id in job.peers:
+            target.peer(peer_id).dequeue_job()
+        if feed is None:
+            return
+        follow = feed.on_complete(job, now)
+        if follow is None:
+            return
+        if isinstance(follow, JobRequest):
+            follow = [follow]
+        for request in follow:
+            if request.arrival < now:
+                request = replace(request, arrival=now)
+            self.submit(request)

@@ -17,6 +17,7 @@ lowest-cost path.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -121,8 +122,9 @@ class Network:
 
     * :meth:`deliver` — ship a :class:`Message`, returning its arrival
       time, charging link occupancy and statistics;
-    * :meth:`reset_clock` — clear busy state between benchmark runs while
-      keeping the topology.
+    * :meth:`reset_clocks` — clear busy state between benchmark runs while
+      keeping the topology (``reset_clock`` survives as a deprecated
+      alias).
 
     The paper makes no assumption about network structure (Section 2);
     accordingly, any digraph is accepted and routing falls back to the
@@ -286,10 +288,24 @@ class Network:
         return traffic
 
     # -- lifecycle ----------------------------------------------------------------
-    def reset_clock(self) -> None:
-        """Clear busy windows (new virtual-time experiment, same fabric)."""
+    def reset_clocks(self) -> None:
+        """Clear busy windows (new virtual-time experiment, same fabric).
+
+        The one reset entry point, named to match
+        :meth:`repro.peers.system.AXMLSystem.reset_clocks` so the serving
+        engine can treat systems and networks uniformly.
+        """
         for link in self._links.values():
             link.busy_until = 0.0
+
+    def reset_clock(self) -> None:
+        """Deprecated alias for :meth:`reset_clocks`."""
+        warnings.warn(
+            "Network.reset_clock() is deprecated; use reset_clocks()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.reset_clocks()
 
     def reset_stats(self) -> None:
         self.stats = NetworkStats()
@@ -298,5 +314,5 @@ class Network:
             link.stats = LinkStats()
 
     def reset(self) -> None:
-        self.reset_clock()
+        self.reset_clocks()
         self.reset_stats()

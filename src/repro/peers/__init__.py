@@ -20,6 +20,7 @@ from .registry import (
     NearestPolicy,
     PickPolicy,
     POLICIES,
+    QueueDepthPolicy,
     RandomPolicy,
 )
 from .service import DeclarativeService, NativeService, Service
@@ -38,6 +39,7 @@ __all__ = [
     "RandomPolicy",
     "NearestPolicy",
     "LeastLoadedPolicy",
+    "QueueDepthPolicy",
     "POLICIES",
     "ANY_PEER",
 ]

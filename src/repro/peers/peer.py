@@ -42,6 +42,14 @@ class Peer:
         self.busy_until = 0.0
         #: Total work units executed (for benchmark reporting).
         self.work_done = 0
+        #: Total virtual seconds the CPU was occupied (utilization numerator;
+        #: unlike ``busy_until`` this survives idle gaps between jobs).
+        self.busy_time = 0.0
+        #: Jobs currently admitted to this peer's compute queue but not yet
+        #: finished.  Maintained by the serving engine
+        #: (:mod:`repro.engine.scheduler`); replica-aware admission policies
+        #: read it to route generic picks toward shallow queues.
+        self.queued = 0
 
     # -- documents ---------------------------------------------------------------
     def install_document(
@@ -142,6 +150,7 @@ class Peer:
         duration = work_units / self.compute_speed
         self.busy_until = start + duration
         self.work_done += work_units
+        self.busy_time += duration
         return self.busy_until
 
     def evaluate(
@@ -165,8 +174,22 @@ class Peer:
         done = self.charge(work, ready_at)
         return result, done
 
+    # -- compute queue -----------------------------------------------------------
+    def enqueue_job(self) -> int:
+        """Admit one serving job to this peer's compute queue."""
+        self.queued += 1
+        return self.queued
+
+    def dequeue_job(self) -> int:
+        """Retire one serving job from this peer's compute queue."""
+        if self.queued > 0:
+            self.queued -= 1
+        return self.queued
+
     def reset_clock(self) -> None:
+        """Zero occupancy state: the CPU clock and the compute queue."""
         self.busy_until = 0.0
+        self.queued = 0
 
     def __repr__(self) -> str:
         return (

@@ -33,6 +33,7 @@ __all__ = [
     "RandomPolicy",
     "NearestPolicy",
     "LeastLoadedPolicy",
+    "QueueDepthPolicy",
     "POLICIES",
 ]
 
@@ -109,11 +110,39 @@ class LeastLoadedPolicy(PickPolicy):
         return min(members, key=load)
 
 
+class QueueDepthPolicy(PickPolicy):
+    """Replica-aware serving admission: route to the shallowest queue.
+
+    Under concurrent serving (:mod:`repro.engine`) peers are contended
+    resources with explicit compute queues (:attr:`Peer.queued
+    <repro.peers.peer.Peer.queued>`).  This policy resolves a generic
+    reference toward the member whose hosting peer currently has the
+    fewest admitted-but-unfinished jobs; ties break on the CPU clock
+    (``busy_until``), then on locality (a member on the requesting peer
+    wins), then on registration order — fully deterministic, so the
+    scheduler's event trace stays byte-stable across runs.
+    """
+
+    def choose(self, members, requester, system):
+        def depth(indexed: Tuple[int, GenericMember]):
+            index, member = indexed
+            peer = system.peer(member.peer)
+            return (
+                peer.queued,
+                peer.busy_until,
+                member.peer != requester,
+                index,
+            )
+
+        return min(enumerate(members), key=depth)[1]
+
+
 POLICIES: Dict[str, Callable[[], PickPolicy]] = {
     "first": FirstPolicy,
     "random": RandomPolicy,
     "nearest": NearestPolicy,
     "least-loaded": LeastLoadedPolicy,
+    "queue-depth": QueueDepthPolicy,
 }
 
 

@@ -142,21 +142,37 @@ class AXMLSystem:
                 "traffic": traffic.get(peer_id),
                 "work_done": peer.work_done,
                 "busy_until": peer.busy_until,
+                "busy_time": peer.busy_time,
+                "queued": peer.queued,
             }
         return image
 
     # -- lifecycle -----------------------------------------------------------------
     def reset_clocks(self) -> None:
-        """Zero all virtual-time state (new measurement, same Σ)."""
+        """Zero all virtual-time state (new measurement, same Σ).
+
+        The single reset entry point the serving engine relies on: after
+        this call *every* link's ``busy_until``, every peer's CPU clock
+        and compute queue, and the system clock are zero — guaranteed
+        below so stale occupancy can never leak into the next run.
+        """
         self.clock = 0.0
-        self.network.reset_clock()
+        self.network.reset_clocks()
         for peer in self.peers.values():
             peer.reset_clock()
+        assert all(
+            link.busy_until == 0.0 for link in self.network.links()
+        ), "reset_clocks left a link occupied"
+        assert all(
+            peer.busy_until == 0.0 and peer.queued == 0
+            for peer in self.peers.values()
+        ), "reset_clocks left a peer busy"
 
     def reset_stats(self) -> None:
         self.network.reset_stats()
         for peer in self.peers.values():
             peer.work_done = 0
+            peer.busy_time = 0.0
 
     def reset(self) -> None:
         """Fresh measurement baseline: clocks *and* statistics, same Σ.

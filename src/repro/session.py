@@ -25,9 +25,13 @@ True
 
 Entry points: :meth:`Session.query` (XQuery text in, report out),
 :meth:`Session.run` (pre-built :class:`~repro.core.rules.Plan` in),
-:meth:`Session.explain` (optimize only, execute nothing), and
+:meth:`Session.explain` (optimize only, execute nothing),
 :meth:`Session.batch` (a sequence of either, with the system reset to a
-clean measurement baseline between runs).  :func:`connect` is the
+clean measurement baseline between runs), and — for *concurrent*
+workloads — :meth:`Session.submit` / :meth:`Session.drain` /
+:meth:`Session.serve`, which hand a stream of jobs to the
+:mod:`repro.engine` scheduler and return a fleet-level
+:class:`~repro.engine.metrics.ServingReport`.  :func:`connect` is the
 one-line constructor re-exported as ``repro.connect``.
 """
 
@@ -270,6 +274,8 @@ class Session:
         #: the search already checked it (check_equivalence is the slow,
         #: evaluate-both-sides path).
         self._verify_cache: Dict[Tuple[str, str], VerificationResult] = {}
+        #: The open serving engine, created lazily by :meth:`submit`.
+        self._engine = None
         verifier = self._verified_equivalent if verify else None
         self.optimizer = Optimizer(
             system,
@@ -450,6 +456,136 @@ class Session:
                     "a query-kwargs mapping, or a (source, at, bind) tuple"
                 )
         return reports
+
+    # -- concurrent serving --------------------------------------------------------
+    def engine(self, seed: int = 0, admission="queue-depth"):
+        """The session's open serving engine, created on first use.
+
+        Call explicitly to pick a tie-breaking ``seed`` or an
+        ``admission`` policy before the first :meth:`submit`; once open,
+        the same engine is returned until :meth:`drain` closes it.  An
+        engine drained directly (or killed mid-drain) is replaced by a
+        fresh one on the next call.
+        """
+        from .engine.scheduler import Scheduler
+
+        if self._engine is None or self._engine.drained:
+            self._engine = Scheduler(self, seed=seed, admission=admission)
+        return self._engine
+
+    def submit(
+        self,
+        source,
+        at: Optional[str] = None,
+        bind: Optional[Mapping[str, Binding]] = None,
+        name: Optional[str] = None,
+        arrival: float = 0.0,
+        optimize: bool = True,
+    ):
+        """Admit one query to the serving engine; returns its pending job.
+
+        Unlike :meth:`query`, nothing executes yet — jobs interleave as
+        discrete events on one shared virtual clock when :meth:`drain`
+        runs them, so transfers and compute of *different* queries
+        contend for the same FIFO links and serial CPUs.  ``arrival`` is
+        the job's virtual arrival time (its evaluation clock starts
+        there, not at zero).  Accepts a pre-built
+        :class:`~repro.engine.jobs.JobRequest` in place of ``source``.
+        """
+        from .engine.jobs import JobRequest
+
+        if isinstance(source, JobRequest):
+            request = source
+        else:
+            if at is None:
+                raise SessionError("submit(source, ...) needs the site 'at'")
+            request = JobRequest(
+                source=source,
+                at=at,
+                bind=dict(bind) if bind else None,
+                name=name,
+                arrival=arrival,
+                optimize=optimize,
+            )
+        return self.engine().submit(request)
+
+    def drain(self, feed=None):
+        """Run every submitted job to quiescence; returns the fleet report.
+
+        Processes the engine's event heap in virtual-time order (seeded
+        deterministic tie-breaking), then closes the engine — the next
+        :meth:`submit` opens a fresh one.  ``feed`` is an optional
+        closed-loop source (see
+        :class:`~repro.engine.loadgen.ClosedLoopFeed`) consulted at every
+        completion for follow-on requests.  Returns a
+        :class:`~repro.engine.metrics.ServingReport`: per-job
+        :class:`ExecutionReport`\\ s plus fleet metrics (makespan,
+        latency percentiles, queries/sec, per-peer utilization).
+        """
+        if self._engine is None and feed is None:
+            raise SessionError("nothing submitted; call submit() first")
+        engine = self.engine()
+        try:
+            return engine.drain(feed)
+        finally:
+            self._engine = None
+
+    def serve(self, requests=(), feed=None, seed: int = 0, admission="queue-depth"):
+        """Submit a request stream and drain it, in one call.
+
+        Convenience over :meth:`submit` + :meth:`drain` for whole arrival
+        processes: ``requests`` is an iterable of
+        :class:`~repro.engine.jobs.JobRequest` (e.g. from
+        :meth:`LoadGenerator.open_loop
+        <repro.engine.loadgen.LoadGenerator.open_loop>`), ``feed`` a
+        closed-loop source.  Uses a private engine so pending
+        :meth:`submit` state is never mixed in (raises if the session
+        already has an open engine).
+        """
+        from .engine.scheduler import Scheduler
+
+        if self._engine is not None and not self._engine.drained:
+            raise SessionError(
+                "session has an open engine with pending jobs; "
+                "drain() it before calling serve()"
+            )
+        engine = Scheduler(self, seed=seed, admission=admission)
+        engine.submit_all(requests)
+        return engine.drain(feed)
+
+    def plan_job(self, request) -> ExecutionReport:
+        """Plan (and optimize) one serving job without executing it.
+
+        The scheduler's planning half: builds the naive plan for a
+        :class:`~repro.engine.jobs.JobRequest`, searches it through the
+        session's strategy with the shared plan cache (warm-cache
+        serving), optionally verifies the winner, and returns the
+        not-yet-executed report for the engine to run.
+        """
+        query = self.compile(
+            request.source, params=tuple(request.bind or {}), name=request.name
+        )
+        plan = self.plan(query, request.at, bind=request.bind, name=request.name)
+        result = self._optimize(plan, request.optimize)
+        verification: Optional[VerificationResult] = None
+        if self.verify:
+            if result.best is plan:
+                verification = VerificationResult(True, "plan unchanged")
+            else:
+                verification = self._check_equivalence(plan, result.best)
+        return ExecutionReport(
+            plan=result.best,
+            original=plan,
+            best_cost=result.best_cost,
+            original_cost=result.original_cost,
+            explored=result.explored,
+            strategy=result.strategy or getattr(self.strategy, "name", "?"),
+            source=query.source,
+            name=query.name,
+            trace=list(result.trace) if self.trace else [],
+            verification=verification,
+            plan_cache=result.cache,
+        )
 
     # -- internals ----------------------------------------------------------------
     def _try_decompose(self, query: Query) -> Optional[Decomposition]:

@@ -55,11 +55,11 @@ class TestLinks:
         assert arrival == 1.0
         assert net.stats.messages == 0
 
-    def test_reset_clock_clears_busy(self):
+    def test_reset_clocks_clears_busy(self):
         net = Network()
         net.add_link("a", "b", latency=0.0, bandwidth=100.0)
         net.deliver(Message("a", "b", MessageKind.DATA, "x" * 1000), 0.0)
-        net.reset_clock()
+        net.reset_clocks()
         assert net.link("a", "b").busy_until == 0.0
 
 
