@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""D1 — fragmentation: fragments-vs-whole-document traffic and latency.
+
+Workload: one catalog document on a WAN mesh (client + 4 data peers),
+horizontally fragmented across the data peers through ``repro.dist``
+while the whole document stays installed as the baseline.  Each size in
+the sweep runs a *selective* query (top ~5% of items by key) and a
+*broad* query (~50%) through four execution modes:
+
+* ``whole-naive``   — whole-document shipping (``cat@d0``, no optimizer);
+* ``whole-opt``     — selection pushed to the single hosting peer;
+* ``frag-naive``    — scatter-gather reassembly of every fragment;
+* ``frag-opt``      — selection pushed below the fragment union, with
+  fragments pruned through the catalog's ``(min, max)`` statistics.
+
+Claimed shape (asserted):
+
+* answers are byte-identical across all four modes at every size —
+  fragmentation is invisible to query results;
+* on selective queries ``frag-opt`` moves measurably fewer bytes than
+  whole-document shipping (the CI gate, run ``--quick``) — pruning means
+  only fragments that *can* match are contacted at all;
+* ``frag-opt`` completes no later than whole-document shipping in
+  virtual time once data shipping dominates the link.
+
+Emits ``benchmarks/results/BENCH_fragmentation.json``; its headline
+metric (``selective_bytes_ratio`` — whole-document bytes over frag-opt
+bytes, higher is better) feeds the cross-PR bench trajectory
+(``scripts/collect_bench.py``).
+
+Run:  python benchmarks/bench_d1_fragmentation.py [--quick] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import (  # noqa: E402
+    WAN_BANDWIDTH,
+    WAN_LATENCY,
+    emit,
+    emit_json,
+    format_table,
+    make_catalog,
+)
+
+from repro import connect  # noqa: E402
+from repro.dist import Fragmenter  # noqa: E402
+from repro.peers import AXMLSystem  # noqa: E402
+
+BENCH_ID = "D1"
+JSON_NAME = "BENCH_fragmentation"
+
+SIZES = (200, 400, 800)
+QUICK_SIZES = (150, 300)
+DATA_PEERS = ("d0", "d1", "d2", "d3")
+
+#: Minimum whole-doc/frag-opt byte ratio on selective queries — well
+#: under the observed ~20x so noise never trips CI, far over 1.0 so a
+#: broken pushdown always does.
+MIN_SELECTIVE_BYTES_RATIO = 3.0
+
+
+def build_system(n_items: int) -> AXMLSystem:
+    system = AXMLSystem.with_peers(
+        ["client", *DATA_PEERS], bandwidth=WAN_BANDWIDTH, latency=WAN_LATENCY
+    )
+    system.peer("d0").install_document("cat", make_catalog(n_items))
+    Fragmenter(system).fragment("cat", "d0", list(DATA_PEERS))
+    return system
+
+
+def run_modes(system: AXMLSystem, query: str):
+    """The four execution modes; returns mode -> (bytes, ms, answers)."""
+    session = connect(system)
+    runs = {
+        "whole-naive": dict(bind={"d": "cat@d0"}, optimize=False),
+        "whole-opt": dict(bind={"d": "cat@d0"}, optimize=True),
+        "frag-naive": dict(bind={"d": "cat@dist"}, optimize=False),
+        "frag-opt": dict(bind={"d": "cat@dist"}, optimize=True),
+    }
+    out = {}
+    for mode, kwargs in runs.items():
+        report = session.query(query, at="client", name="d1", **kwargs)
+        out[mode] = (
+            report.network["bytes"],
+            report.completed_at * 1000.0,
+            tuple(report.answers),
+        )
+    reference = out["whole-naive"][2]
+    for mode, (_, _, answers) in out.items():
+        assert answers == reference, (
+            f"answers diverged in mode {mode!r} — fragmentation must be "
+            "invisible to query results"
+        )
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sweep")
+    parser.add_argument("--seed", type=int, default=0, help="unused; kept for CLI symmetry")
+    args = parser.parse_args()
+    sizes = QUICK_SIZES if args.quick else SIZES
+
+    rows = []
+    by_size = {}
+    for n_items in sizes:
+        system = build_system(n_items)
+        selective = (
+            f"for $i in $d//item where $i/price > {int(n_items * 0.95)} "
+            "return $i/name"
+        )
+        broad = (
+            f"for $i in $d//item where $i/price >= {n_items // 2} "
+            "return $i/name"
+        )
+        cell = {}
+        for label, query in (("selective", selective), ("broad", broad)):
+            modes = run_modes(system, query)
+            cell[label] = {
+                mode: {"bytes": b, "virtual_ms": round(ms, 3)}
+                for mode, (b, ms, _) in modes.items()
+            }
+            rows.append(
+                [
+                    n_items,
+                    label,
+                    modes["whole-naive"][0],
+                    modes["frag-naive"][0],
+                    modes["whole-opt"][0],
+                    modes["frag-opt"][0],
+                    round(modes["whole-naive"][1], 1),
+                    round(modes["frag-opt"][1], 1),
+                ]
+            )
+        by_size[str(n_items)] = cell
+
+    emit(
+        BENCH_ID,
+        "fragmentation: traffic and latency, fragments vs whole document",
+        format_table(
+            ["items", "query", "whole B", "frag B", "whole-opt B",
+             "frag-opt B", "whole ms", "frag-opt ms"],
+            rows,
+        ),
+    )
+
+    largest = by_size[str(sizes[-1])]["selective"]
+    bytes_ratio = largest["whole-naive"]["bytes"] / max(
+        1, largest["frag-opt"]["bytes"]
+    )
+    latency_ratio = largest["whole-naive"]["virtual_ms"] / max(
+        1e-9, largest["frag-opt"]["virtual_ms"]
+    )
+    payload = {
+        "bench": BENCH_ID,
+        "seed": args.seed,
+        "sizes": by_size,
+        "fragment_peers": len(DATA_PEERS),
+        "selective_bytes_ratio": round(bytes_ratio, 3),
+        "selective_latency_ratio": round(latency_ratio, 3),
+        "identical_answers_across_modes": True,  # asserted in run_modes
+    }
+    emit_json(JSON_NAME, payload, quick=args.quick)
+
+    print(
+        f"\nselective query at {sizes[-1]} items: whole-document shipping "
+        f"{largest['whole-naive']['bytes']}B vs frag-opt "
+        f"{largest['frag-opt']['bytes']}B (x{bytes_ratio:.1f} fewer bytes, "
+        f"x{latency_ratio:.2f} latency)"
+    )
+
+    # regression gates: pushed+pruned scatter-gather must beat shipping
+    # the whole document on every swept size, by a wide margin at the top
+    for n_items, cell in by_size.items():
+        sel = cell["selective"]
+        if sel["frag-opt"]["bytes"] >= sel["whole-naive"]["bytes"]:
+            print(
+                f"FAIL: frag-opt moved {sel['frag-opt']['bytes']}B at "
+                f"{n_items} items, not fewer than whole-document shipping "
+                f"({sel['whole-naive']['bytes']}B)"
+            )
+            return 1
+    if bytes_ratio < MIN_SELECTIVE_BYTES_RATIO:
+        print(
+            f"FAIL: selective bytes ratio x{bytes_ratio:.2f} below the "
+            f"x{MIN_SELECTIVE_BYTES_RATIO} floor"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -237,7 +237,7 @@ def main(argv=None) -> int:
         "identical_best_plans": True,  # asserted per cell in run_sweep
         "per_strategy": strategy_summary,
     }
-    emit_json(JSON_NAME, payload)
+    emit_json(JSON_NAME, payload, quick=args.quick)
 
     print(
         f"\ncost-fn invocations: {totals['unmemo_calls']} unmemoized vs "

@@ -145,7 +145,7 @@ def main(argv=None) -> int:
         "makespan_speedup_at_top": round(speedup, 3),
         "identical_answers_across_levels": True,  # asserted in run_sweep
     }
-    emit_json(JSON_NAME, payload)
+    emit_json(JSON_NAME, payload, quick=args.quick)
 
     print(
         f"\nsequential {sequential['queries_per_sec']:.1f} q/s vs "

@@ -12,10 +12,12 @@ Every bench:
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
+import subprocess
 import time
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro import Session, connect
 from repro.peers import AXMLSystem
@@ -108,13 +110,40 @@ def timed_run(fn: Callable[[], object]) -> Tuple[object, float]:
     return result, time.perf_counter() - started
 
 
-def emit_json(name: str, payload: dict) -> str:
+def git_sha() -> str:
+    """The repo's current commit, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=os.path.dirname(__file__),
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def emit_json(name: str, payload: dict, quick: Optional[bool] = None) -> str:
     """Persist a machine-readable result blob under results/``name``.json.
 
-    The perf-regression harness (CI's perf-smoke job) parses these, so
-    keep payloads flat-ish and stable-keyed; returns the written path.
+    The perf-regression harness (CI's perf-smoke job and
+    ``scripts/collect_bench.py``) parses these, so keep payloads
+    flat-ish and stable-keyed; returns the written path.  Every payload
+    is stamped with the producing commit (``git_sha``), a UTC
+    ``generated_at`` date, and — when the bench passes its ``--quick``
+    flag here — the ``quick`` marker, so cross-PR trajectory points are
+    attributable and quick/full runs are never compared to each other.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = dict(payload)
+    payload["git_sha"] = git_sha()
+    payload["generated_at"] = (
+        datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%d")
+    )
+    if quick is not None:
+        payload["quick"] = bool(quick)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

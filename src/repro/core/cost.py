@@ -33,6 +33,8 @@ from .expressions import (
     DocExpr,
     EvalAt,
     Expression,
+    FragmentedDoc,
+    Gather,
     GenericDoc,
     GenericService,
     NodesDest,
@@ -293,6 +295,21 @@ class CostEstimator:
                 ),
             )
             return self._visit(DocExpr(best.name, best.peer), site)
+        if isinstance(expr, FragmentedDoc):
+            catalog = self.system.fragments
+            if not catalog.is_fragmented(expr.name):
+                return 1024
+            total = 0
+            for fragment in catalog.fragments(expr.name):
+                size = self._doc_bytes(fragment.name, fragment.home)
+                self._charge_transfer(fragment.home, site, size)
+                total += size
+            return total
+        if isinstance(expr, Gather):
+            # time accumulates sequentially — an overestimate for the
+            # parallel fan-out, but monotone in the same quantities the
+            # oracle measures, which is all the search ordering needs
+            return sum(self._visit(part, site) for part in expr.parts)
         if isinstance(expr, QueryRef):
             size = len(expr.query.source.encode("utf-8"))
             self._charge_transfer(expr.home, site, size)

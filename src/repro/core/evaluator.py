@@ -54,6 +54,8 @@ from .expressions import (
     DocExpr,
     EvalAt,
     Expression,
+    FragmentedDoc,
+    Gather,
     GenericDoc,
     GenericService,
     NodesDest,
@@ -146,6 +148,10 @@ class ExpressionEvaluator:
             return self._eval_doc(expr, at, ready_at, _depth)
         if isinstance(expr, GenericDoc):
             return self._eval_generic_doc(expr, at, ready_at, _depth)
+        if isinstance(expr, FragmentedDoc):
+            return self._eval_fragmented_doc(expr, at, ready_at, _depth)
+        if isinstance(expr, Gather):
+            return self._eval_gather(expr, at, ready_at, _depth)
         if isinstance(expr, QueryRef):
             return self._eval_query_ref(expr, at, ready_at)
         if isinstance(expr, GenericService):
@@ -267,6 +273,55 @@ class ExpressionEvaluator:
             expr.name, at, self.system, self.pick_policy
         )
         return self.eval(DocExpr(member.name, member.peer), at, ready_at, depth + 1)
+
+    # -- fragmented documents (repro.dist): scatter-gather ----------------------------
+    def _eval_fragmented_doc(
+        self, expr: FragmentedDoc, at: str, ready_at: float, depth: int
+    ) -> EvalOutcome:
+        """Scatter to every fragment-holding peer, reassemble in order.
+
+        Each fragment is fetched independently from the same ready
+        instant (fan-out: distinct links carry their transfers
+        concurrently, shared links serialize FIFO — real per-link
+        traffic either way), and the fragments' children are spliced
+        under the original root in ordinal order, so the value is
+        byte-identical to the whole document.  Replicated fragments
+        resolve through the generic registry, i.e. the session/serving
+        pick policy chooses which copy serves the read.
+        """
+        info = self.system.fragments.info(expr.name)
+        outcome = EvalOutcome(completed_at=ready_at)
+        root = Element(info.root_tag, attrs=dict(info.root_attrs))
+        for fragment in info.fragments:
+            ref: Expression
+            if fragment.generic is not None:
+                ref = GenericDoc(fragment.generic)
+            else:
+                ref = DocExpr(fragment.name, fragment.home)
+            sub = self.eval(ref, at, ready_at, depth + 1)
+            outcome.merge_effects(sub)
+            outcome.completed_at = max(outcome.completed_at, sub.completed_at)
+            for item in sub.items:
+                # copy, never reparent: a fragment local to the
+                # evaluation site hands back the *stored* tree (the
+                # activated document _eval_doc re-installs), and moving
+                # its children out would empty the fragment on the live Σ
+                for child in item.children:
+                    root.append(child.copy())
+        outcome.items = [root]
+        return outcome
+
+    def _eval_gather(
+        self, expr: Gather, at: str, ready_at: float, depth: int
+    ) -> EvalOutcome:
+        """Order-preserving union: parts evaluate independently, in parallel."""
+        outcome = EvalOutcome(completed_at=ready_at)
+        for part in expr.parts:
+            sub = self.eval(part, at, ready_at, depth + 1)
+            outcome.merge_effects(sub)
+            outcome.items.extend(sub.items)
+            outcome.completed_at = max(outcome.completed_at, sub.completed_at)
+        return outcome
 
     # -- queries as values (and definition (8) deployment) ------------------------------
     def _eval_query_ref(

@@ -5,6 +5,10 @@ Members of E, with their paper counterparts:
 * :class:`TreeExpr` — ``t@p``: a literal tree hosted at a peer;
 * :class:`DocExpr` — ``d@p``: a named document at a peer;
 * :class:`GenericDoc` — ``d@any`` (Section 2.3);
+* :class:`FragmentedDoc` — ``d@dist``: a horizontally fragmented document
+  resolved through the fragment catalog (:mod:`repro.dist`);
+* :class:`Gather` — order-preserving union of independent sub-plans, the
+  gather half of scatter-gather evaluation over fragments;
 * :class:`QueryRef` — ``q@p``: a query defined at a peer (shippable);
 * :class:`GenericService` — ``s@any``;
 * :class:`QueryApply` — ``q@p(t1, ..., tn)``;
@@ -40,6 +44,8 @@ __all__ = [
     "TreeExpr",
     "DocExpr",
     "GenericDoc",
+    "FragmentedDoc",
+    "Gather",
     "QueryRef",
     "GenericService",
     "QueryApply",
@@ -136,6 +142,49 @@ class GenericDoc(Expression):
 
     def describe(self) -> str:
         return f"{self.name}@any"
+
+
+@dataclass(frozen=True)
+class FragmentedDoc(Expression):
+    """A horizontally fragmented document: ``d@dist``.
+
+    Resolved through the system's
+    :class:`~repro.dist.catalog.FragmentCatalog`: evaluation fans out to
+    every fragment-holding peer (replicated fragments go through the
+    generic registry, so pick policies choose), then reassembles the
+    fragments' children under the original root in ordinal order — the
+    value is byte-identical to the whole document.  The fragment-aware
+    rewrites replace the reassembly with pushed, pruned scatter-gather.
+    """
+
+    name: str
+
+    def describe(self) -> str:
+        return f"{self.name}@dist"
+
+
+@dataclass(frozen=True)
+class Gather(Expression):
+    """Order-preserving union of independently evaluated parts.
+
+    Evaluating ``Gather(e1, ..., ek)`` at ``p`` evaluates every part at
+    ``p`` from the *same* ready instant (the parts are independent —
+    scatter), and concatenates the value forests in part order (gather).
+    Completion is the latest part's completion, so fan-out parallelism
+    is visible in the virtual clock while per-link traffic is still
+    charged for every transfer individually.
+    """
+
+    parts: Tuple[Expression, ...]
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.parts
+
+    def with_children(self, children: Tuple[Expression, ...]) -> "Gather":
+        return Gather(tuple(children))
+
+    def describe(self) -> str:
+        return "gather(" + " | ".join(p.describe() for p in self.parts) + ")"
 
 
 @dataclass(frozen=True)

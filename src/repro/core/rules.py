@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from hashlib import blake2b
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
+from ..dist.pruning import fragment_can_match, selection_bounds
 from ..errors import DecompositionError, RewriteError
 from ..peers.service import DeclarativeService
 from ..peers.system import AXMLSystem
@@ -45,6 +46,8 @@ from .expressions import (
     DocExpr,
     EvalAt,
     Expression,
+    FragmentedDoc,
+    Gather,
     GenericDoc,
     NodesDest,
     PeerDest,
@@ -69,6 +72,8 @@ __all__ = [
     "DelegateExpression",
     "RelocateCall",
     "PushQueryOverCall",
+    "FragmentPushSelection",
+    "FragmentPrune",
     "DEFAULT_RULES",
     "subexpression_contexts",
 ]
@@ -487,7 +492,133 @@ class PushQueryOverCall(RewriteRule):
         return rewrites
 
 
-#: The rule set the optimizer uses by default (paper order).
+# ---------------------------------------------------------------------------
+# Fragment-aware rewrites (repro.dist): scatter below the union, prune
+# ---------------------------------------------------------------------------
+
+class _FragmentRuleBase(RewriteRule):
+    """Shared matching for the two fragment rewrites.
+
+    Both fire on ``QueryApply(q, (d@dist,))`` where ``q`` splits via
+    :func:`~repro.xquery.decompose.push_selection` — rule (11) applied
+    over a fragment union instead of a single remote document.
+    """
+
+    def _matches(self, plan: Plan, system: AXMLSystem):
+        catalog = system.fragments
+        if not len(catalog):
+            return
+        for node, rebuild in subexpression_contexts(plan.expr):
+            if not isinstance(node, QueryApply):
+                continue
+            if len(node.args) != 1 or not isinstance(node.args[0], FragmentedDoc):
+                continue
+            if not isinstance(node.query, QueryRef):
+                continue
+            if not catalog.is_fragmented(node.args[0].name):
+                continue
+            try:
+                decomposition = push_selection(node.query.query)
+            except DecompositionError:
+                continue
+            yield node, rebuild, catalog.info(node.args[0].name), decomposition
+
+    def _scatter(self, plan: Plan, node: QueryApply, decomposition, fragments):
+        """``q1(gather(eval@home_i(σq2(frag_i)), ...))`` over the fragments.
+
+        The inner query is homed at each fragment's peer: the shipped
+        ``EvalAt`` expression already carries the query text (mutant
+        query plans — the code travels with the plan), so homing it
+        remotely would only add a redundant second query transfer.
+        Replicated fragments are read through their generic class, not
+        pinned to the primary — the pick policy (e.g. queue-depth
+        admission under the serving engine) chooses the copy at
+        evaluation time, for optimized plans exactly as for reassembly.
+        """
+        outer_ref = QueryRef(decomposition.outer, plan.site)
+        parts = []
+        for fragment in fragments:
+            if fragment.generic is not None:
+                source: Expression = GenericDoc(fragment.generic)
+            else:
+                source = DocExpr(fragment.name, fragment.home)
+            inner_apply = QueryApply(
+                QueryRef(decomposition.inner, fragment.home), (source,)
+            )
+            if fragment.home != plan.site:
+                parts.append(EvalAt(fragment.home, inner_apply))
+            else:
+                parts.append(inner_apply)
+        return QueryApply(outer_ref, (Gather(tuple(parts)),))
+
+
+class FragmentPushSelection(_FragmentRuleBase):
+    """Push a selection below the fragment union (scatter-gather).
+
+    ``q(d@dist) ≡ q1(gather(eval@p_i(σq2(f_i@p_i)), ...))`` — instead of
+    reassembling the whole document at the evaluation site, each
+    fragment-holding peer runs the selection locally and only the
+    matching subset travels; the gather unions the per-fragment
+    envelopes in ordinal order, so answers stay byte-identical.
+    """
+
+    name = "fragment-scatter(11f)"
+
+    def apply(self, plan: Plan, system: AXMLSystem) -> List[Rewrite]:
+        rewrites: List[Rewrite] = []
+        for node, rebuild, info, decomposition in self._matches(plan, system):
+            scattered = self._scatter(plan, node, decomposition, info.fragments)
+            rewrites.append(
+                Rewrite(
+                    Plan(rebuild(scattered), plan.site),
+                    self.name,
+                    f"scatter σ to {len(info.fragments)} fragments of {info.doc}",
+                )
+            )
+        return rewrites
+
+
+class FragmentPrune(_FragmentRuleBase):
+    """Contact only fragments whose catalog metadata can match.
+
+    Combines the scatter with static pruning: a fragment whose recorded
+    ``(min, max)`` range for the selection's key cannot satisfy the
+    predicate is dropped from the gather entirely — no message, no
+    compute, provably no lost answers (the ranges are invariants the
+    :class:`~repro.dist.fragmenter.Fragmenter` computed at split time).
+    Only emitted when it actually prunes something; the plain scatter is
+    :class:`FragmentPushSelection`'s job.
+    """
+
+    name = "fragment-prune"
+
+    def apply(self, plan: Plan, system: AXMLSystem) -> List[Rewrite]:
+        rewrites: List[Rewrite] = []
+        for node, rebuild, info, decomposition in self._matches(plan, system):
+            bounds = selection_bounds(node.query.query)
+            if bounds is None:
+                continue
+            kept = tuple(
+                fragment
+                for fragment in info.fragments
+                if fragment_can_match(fragment, *bounds)
+            )
+            if len(kept) == len(info.fragments):
+                continue
+            pruned = self._scatter(plan, node, decomposition, kept)
+            rewrites.append(
+                Rewrite(
+                    Plan(rebuild(pruned), plan.site),
+                    self.name,
+                    f"contact {len(kept)}/{len(info.fragments)} "
+                    f"fragments of {info.doc}",
+                )
+            )
+        return rewrites
+
+
+#: The rule set the optimizer uses by default (paper order, then the
+#: fragment-aware extensions).
 DEFAULT_RULES: Tuple[RewriteRule, ...] = (
     QueryDelegation(),
     PushSelection(),
@@ -496,4 +627,6 @@ DEFAULT_RULES: Tuple[RewriteRule, ...] = (
     DelegateExpression(),
     RelocateCall(),
     PushQueryOverCall(),
+    FragmentPushSelection(),
+    FragmentPrune(),
 )

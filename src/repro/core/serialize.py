@@ -27,6 +27,8 @@ from .expressions import (
     DocExpr,
     EvalAt,
     Expression,
+    FragmentedDoc,
+    Gather,
     GenericDoc,
     GenericService,
     NodesDest,
@@ -59,6 +61,13 @@ def to_xml(expr: Expression) -> Element:
         return element("x-doc", attrs={"name": expr.name, "home": expr.home})
     if isinstance(expr, GenericDoc):
         return element("x-doc", attrs={"name": expr.name, "home": ANY})
+    if isinstance(expr, FragmentedDoc):
+        return element("x-fragdoc", attrs={"name": expr.name})
+    if isinstance(expr, Gather):
+        node = element("x-gather")
+        for part in expr.parts:
+            node.append(to_xml(part))
+        return node
     if isinstance(expr, QueryRef):
         node = element(
             "x-query",
@@ -138,6 +147,10 @@ def from_xml(node: Element) -> Expression:
         if home == ANY:
             return GenericDoc(node.attrs["name"])
         return DocExpr(node.attrs["name"], home)
+    if tag == "x-fragdoc":
+        return FragmentedDoc(node.attrs["name"])
+    if tag == "x-gather":
+        return Gather(tuple(from_xml(c) for c in node.element_children))
     if tag == "x-query":
         params = tuple(p for p in node.attrs.get("params", "").split() if p)
         query = Query(
@@ -251,6 +264,12 @@ def _fingerprint_into(expr: Expression, feed: Callable[[bytes], None]) -> None:
         token("x-doc", expr.name, expr.home)
     elif isinstance(expr, GenericDoc):
         token("x-doc", expr.name, ANY)
+    elif isinstance(expr, FragmentedDoc):
+        token("x-fragdoc", expr.name)
+    elif isinstance(expr, Gather):
+        token("x-gather", str(len(expr.parts)))
+        for part in expr.parts:
+            _fingerprint_into(part, feed)
     elif isinstance(expr, QueryRef):
         token(
             "x-query",

@@ -1,0 +1,35 @@
+"""Document fragmentation and scatter-gather distribution (``repro.dist``).
+
+The paper frames distributed XML data management as placing data and
+computation across autonomous peers and letting the optimizer exploit
+that placement.  This subsystem adds the *horizontal* placement axis:
+
+* :class:`~repro.dist.fragmenter.Fragmenter` splits a document's
+  repeated children into per-peer fragments (with optional replicas);
+* :class:`~repro.dist.catalog.FragmentCatalog` (hung off
+  :attr:`AXMLSystem.fragments <repro.peers.system.AXMLSystem.fragments>`)
+  records where every fragment lives plus the per-fragment numeric
+  ranges the pruning rewrite reads;
+* the expression algebra gains ``FragmentedDoc`` / ``Gather``
+  (:mod:`repro.core.expressions`), the evaluator gains scatter-gather
+  fan-out, and the optimizer gains fragment-aware rewrites
+  (:class:`~repro.core.rules.FragmentPushSelection`,
+  :class:`~repro.core.rules.FragmentPrune`).
+
+Bind a query parameter to ``"doc@dist"`` through the session façade to
+query the fragmented view; answers are byte-identical to the whole
+document, but selective queries ship only matching fragments' data.
+"""
+
+from .catalog import FragmentCatalog, FragmentInfo, FragmentedDocInfo
+from .fragmenter import Fragmenter
+from .pruning import fragment_can_match, selection_bounds
+
+__all__ = [
+    "FragmentCatalog",
+    "FragmentInfo",
+    "FragmentedDocInfo",
+    "Fragmenter",
+    "fragment_can_match",
+    "selection_bounds",
+]

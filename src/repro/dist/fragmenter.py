@@ -1,0 +1,205 @@
+"""Horizontal fragmentation of documents across peers.
+
+:class:`Fragmenter` splits a document's repeated root children into
+contiguous per-peer fragments, installs each fragment as a regular
+document on its hosting peer, optionally mirrors fragments onto replica
+peers (registered as generic classes so pick policies — including the
+serving engine's queue-depth admission — choose among them at evaluation
+time), and records the whole layout in the system's
+:class:`~repro.dist.catalog.FragmentCatalog`.
+
+The split is purely structural: fragment ``i`` holds the ordinal slice
+``[lo, hi)`` of the original child list, so concatenating the fragments
+in index order reproduces the original document byte-identically — the
+invariant the scatter-gather evaluator and the differential harness
+lean on.  Per-fragment numeric ``(min, max)`` statistics are computed at
+split time and become the pruning rewrite's metadata.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..errors import FragmentationError
+from ..xmlcore.model import Element
+from .catalog import FragmentCatalog, FragmentInfo, FragmentedDocInfo
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..peers.system import AXMLSystem
+
+__all__ = ["Fragmenter"]
+
+
+class Fragmenter:
+    """Splits documents into per-peer fragments under the system catalog."""
+
+    def __init__(self, system: "AXMLSystem") -> None:
+        self.system = system
+
+    def fragment(
+        self,
+        doc: str,
+        home: str,
+        across: Sequence[str],
+        *,
+        replicas: int = 0,
+        keep_original: bool = True,
+    ) -> FragmentedDocInfo:
+        """Fragment ``doc@home`` horizontally across the ``across`` peers.
+
+        Parameters
+        ----------
+        doc / home:
+            The whole document to split (must exist on ``home``).
+        across:
+            Hosting peers, one fragment each, in reassembly order.  Peers
+            may repeat; ``home`` itself is allowed.
+        replicas:
+            Mirror each fragment onto this many *additional* peers (drawn
+            round-robin from ``across``), registering the fragment name
+            as a generic class so evaluation picks a replica through the
+            session's pick policy.
+        keep_original:
+            Keep the whole document installed at ``home`` (the default —
+            it doubles as the unfragmented baseline the differential
+            harness compares against).  Pass ``False`` to reclaim it.
+        """
+        targets = list(across)
+        if not targets:
+            raise FragmentationError(
+                f"cannot fragment {doc!r} across zero peers"
+            )
+        if self.catalog.is_fragmented(doc):
+            raise FragmentationError(
+                f"document {doc!r} is already fragmented"
+            )
+        for peer_id in targets:
+            self.system.peer(peer_id)  # fail fast on unknown peers
+        tree = self.system.peer(home).document(doc)
+        items = list(tree.children)
+        if any(not isinstance(item, Element) for item in items):
+            raise FragmentationError(
+                f"document {doc!r} has non-element root children; "
+                "horizontal fragmentation needs a repeated-element root"
+            )
+        if len(items) < len(targets):
+            raise FragmentationError(
+                f"document {doc!r} has {len(items)} items, fewer than the "
+                f"{len(targets)} requested fragments"
+            )
+        if replicas > len(targets) - 1 and replicas > len(self.system.peers) - 1:
+            raise FragmentationError(
+                f"cannot place {replicas} replicas of each fragment with "
+                f"only {len(targets)} fragment peers"
+            )
+
+        fragments: List[FragmentInfo] = []
+        lo = 0
+        base, extra = divmod(len(items), len(targets))
+        for index, target in enumerate(targets):
+            hi = lo + base + (1 if index < extra else 0)
+            slice_items = items[lo:hi]
+            name = f"{doc}.f{index}"
+            root = Element(tree.tag, attrs=dict(tree.attrs))
+            for item in slice_items:
+                root.append(item.copy_without_ids())
+            self.system.peer(target).install_document(name, root)
+            replica_peers = self._place_replicas(target, targets, replicas)
+            for mirror in replica_peers:
+                mirror_root = Element(tree.tag, attrs=dict(tree.attrs))
+                for item in slice_items:
+                    mirror_root.append(item.copy_without_ids())
+                self.system.peer(mirror).install_document(name, mirror_root)
+            generic: Optional[str] = None
+            if replica_peers:
+                generic = name
+                self.system.registry.register_document(generic, name, target)
+                for mirror in replica_peers:
+                    self.system.registry.register_document(generic, name, mirror)
+            fragments.append(
+                FragmentInfo(
+                    doc=doc,
+                    index=index,
+                    name=name,
+                    home=target,
+                    replicas=tuple(replica_peers),
+                    count=len(slice_items),
+                    ordinals=(lo, hi),
+                    stats=_numeric_stats(slice_items),
+                    generic=generic,
+                )
+            )
+            lo = hi
+
+        info = FragmentedDocInfo(
+            doc=doc,
+            root_tag=tree.tag,
+            root_attrs=tuple(sorted(tree.attrs.items())),
+            fragments=tuple(fragments),
+        )
+        self.catalog.register(info)
+        if not keep_original:
+            self.system.peer(home).drop_document(doc)
+        return info
+
+    @property
+    def catalog(self) -> FragmentCatalog:
+        return self.system.fragments
+
+    def _place_replicas(
+        self, primary: str, targets: Sequence[str], replicas: int
+    ) -> List[str]:
+        """Round-robin replica placement over the other fragment peers.
+
+        Deterministic by construction (no randomness), so the same
+        fragmentation call always yields the same layout — the property
+        generated-workload determinism rides on.
+        """
+        if replicas <= 0:
+            return []
+        pool = [p for p in dict.fromkeys(targets) if p != primary]
+        if len(pool) < replicas:
+            extra = [
+                p for p in sorted(self.system.peers)
+                if p != primary and p not in pool
+            ]
+            pool.extend(extra)
+        if len(pool) < replicas:
+            raise FragmentationError(
+                f"not enough peers to place {replicas} replicas of a "
+                f"fragment primary-hosted on {primary!r}"
+            )
+        start = list(dict.fromkeys(targets)).index(primary) if primary in targets else 0
+        rotated = pool[start % len(pool):] + pool[:start % len(pool)]
+        return rotated[:replicas]
+
+
+def _numeric_stats(
+    items: Sequence[Element],
+) -> Tuple[Tuple[str, Tuple[float, float]], ...]:
+    """Per-tag ``(min, max)`` over numeric child values of the items.
+
+    A tag counts as numeric only when *every* occurrence parses as a
+    *finite* number — a partially numeric tag cannot support sound
+    pruning, and ``nan``/``inf`` would poison the min/max comparisons
+    ``fragment_can_match`` relies on.
+    """
+    ranges: Dict[str, Tuple[float, float]] = {}
+    poisoned: set = set()
+    for item in items:
+        for child in item.element_children:
+            tag = child.tag
+            if tag in poisoned:
+                continue
+            try:
+                value = float(child.string_value().strip())
+            except ValueError:
+                value = float("nan")
+            if not math.isfinite(value):
+                poisoned.add(tag)
+                ranges.pop(tag, None)
+                continue
+            lo, hi = ranges.get(tag, (value, value))
+            ranges[tag] = (min(lo, value), max(hi, value))
+    return tuple(sorted(ranges.items()))

@@ -1,0 +1,120 @@
+"""Predicate analysis for fragment pruning.
+
+The pruning rewrite needs to know, statically, whether a fragment *can*
+contain an item satisfying a pushed selection.  This module extracts the
+simple comparison shape the workload queries use —
+
+    for $x in $d//item where $x/tag OP number return ...
+
+— as ``(tag, op, number)`` bounds, and decides satisfiability against a
+fragment's recorded ``(min, max)`` range for that tag.  Anything the
+analysis does not understand returns ``None`` / ``True``: pruning is an
+*optimization* and must stay conservative, never dropping a fragment it
+cannot prove empty.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..xquery import Query
+from ..xquery.ast import (
+    ComparisonOp,
+    FLWORExpr,
+    ForClause,
+    Literal,
+    NameTest,
+    PathExpr,
+    Step,
+    VarRef,
+)
+from .catalog import FragmentInfo
+
+__all__ = ["selection_bounds", "fragment_can_match"]
+
+#: Comparison spellings normalized to the general-comparison operator.
+_OP_ALIASES = {
+    "eq": "=", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+}
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+def selection_bounds(query: Query) -> Optional[Tuple[str, str, float]]:
+    """``(tag, op, value)`` of a pushable single-comparison selection.
+
+    Matches a FLWOR whose first clause is ``for $x in ...`` and whose
+    ``where`` is a single comparison between ``$x/tag`` (one child step)
+    and a numeric literal, in either operand order.  Returns ``None``
+    for every other shape.
+    """
+    body = query.module.body
+    if not isinstance(body, FLWORExpr) or body.where is None:
+        return None
+    if not body.clauses or not isinstance(body.clauses[0], ForClause):
+        return None
+    var = body.clauses[0].variable
+    where = body.where
+    if not isinstance(where, ComparisonOp):
+        return None
+    op = _OP_ALIASES.get(where.op, where.op)
+    if op not in _FLIPPED:
+        return None
+    tag = _child_tag_of(where.left, var)
+    value = _numeric_literal(where.right)
+    if tag is None or value is None:
+        tag = _child_tag_of(where.right, var)
+        value = _numeric_literal(where.left)
+        op = _FLIPPED[op]
+    if tag is None or value is None:
+        return None
+    return tag, op, value
+
+
+def _child_tag_of(node, var: str) -> Optional[str]:
+    """The tag of a ``$var/tag`` path (exactly one child name step)."""
+    if not isinstance(node, PathExpr):
+        return None
+    if not isinstance(node.start, VarRef) or node.start.name != var:
+        return None
+    if len(node.steps) != 1:
+        return None
+    step = node.steps[0]
+    if not isinstance(step, Step) or step.axis != "child" or step.predicates:
+        return None
+    if not isinstance(step.test, NameTest) or step.test.name == "*":
+        return None
+    return step.test.name
+
+
+def _numeric_literal(node) -> Optional[float]:
+    if isinstance(node, Literal) and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+def fragment_can_match(
+    fragment: FragmentInfo, tag: str, op: str, value: float
+) -> bool:
+    """Whether the fragment's recorded range can satisfy ``tag OP value``.
+
+    Unknown tags (no recorded range) always *can* match — the statistics
+    are an invariant only where they exist.
+    """
+    bounds = fragment.bounds(tag)
+    if bounds is None:
+        return True
+    lo, hi = bounds
+    if op == ">":
+        return hi > value
+    if op == ">=":
+        return hi >= value
+    if op == "<":
+        return lo < value
+    if op == "<=":
+        return lo <= value
+    if op == "=":
+        return lo <= value <= hi
+    if op == "!=":
+        return not (lo == hi == value)
+    return True

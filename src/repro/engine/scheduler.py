@@ -70,6 +70,12 @@ class _ChargingPolicy(PickPolicy):
     the in-flight job — which is exactly the signal
     :class:`~repro.peers.registry.QueueDepthPolicy` needs to steer the
     *next* job's pick away from loaded replicas.
+
+    Fragment replicas ride the same path: a replicated fragment of a
+    ``doc@dist`` document (see :mod:`repro.dist`) is registered as a
+    generic class, so scatter-gather fan-out resolves each fragment read
+    through this wrapper too — per-fragment, replica-aware admission
+    with no extra machinery.
     """
 
     def __init__(self, inner: Optional[PickPolicy], scheduler: "Scheduler") -> None:

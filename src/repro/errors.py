@@ -154,6 +154,15 @@ class WorkloadError(ReproError):
     """
 
 
+class FragmentationError(ReproError):
+    """Raised by the :mod:`repro.dist` fragmentation layer.
+
+    Examples: fragmenting a document across zero peers, a root whose
+    children are not all elements (no well-defined horizontal split), or
+    registering two catalogs entries for the same logical document.
+    """
+
+
 class DifferentialMismatchError(WorkloadError):
     """Two optimizer strategies disagreed on a generated query's answer.
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..dist.catalog import FragmentCatalog
 from ..errors import UnknownPeerError
 from ..net.network import Network
 from ..net import topology as topo
@@ -38,6 +39,10 @@ class AXMLSystem:
         self.network = network or Network()
         self.peers: Dict[str, Peer] = {}
         self.registry = GenericRegistry()
+        #: Fragment catalog: where the pieces of horizontally fragmented
+        #: documents live (see :mod:`repro.dist`).  Queryable through the
+        #: ``doc@dist`` binding form and the ``FragmentedDoc`` expression.
+        self.fragments = FragmentCatalog()
         #: Virtual time at which the whole system became quiescent after
         #: the last evaluation (set by the expression evaluator).
         self.clock = 0.0
@@ -124,6 +129,10 @@ class AXMLSystem:
         for generic, members in self.registry._services.items():
             for member in members:
                 twin.registry.register_service(generic, member.name, member.peer)
+        # fragment *documents* were cloned with their hosting peers above;
+        # the catalog copy is independent, so registering/dropping on one
+        # side never shows through to the other.
+        twin.fragments = self.fragments.copy()
         return twin
 
     # -- reporting -----------------------------------------------------------------

@@ -54,6 +54,7 @@ from .core.evaluator import EvalOutcome, ExpressionEvaluator
 from .core.expressions import (
     DocExpr,
     Expression,
+    FragmentedDoc,
     GenericDoc,
     QueryApply,
     QueryRef,
@@ -319,7 +320,10 @@ class Session:
 
         ``bind`` maps each query parameter to the data it ranges over:
         ``"doc@peer"`` (a concrete document), ``"doc@any"`` (a generic
-        document resolved through the registry), a ``(doc, peer)`` tuple,
+        document resolved through the registry), ``"doc@dist"`` (the
+        fragmented view of a document registered in the system's
+        :attr:`~repro.peers.system.AXMLSystem.fragments` catalog,
+        evaluated scatter-gather), a ``(doc, peer)`` tuple,
         an :class:`Element` (a literal tree, homed at ``at``), or any
         algebra :class:`Expression`.
         """
@@ -370,6 +374,13 @@ class Session:
     def _doc_expression(self, name: str, peer: str) -> Expression:
         if peer == "any":
             return GenericDoc(name)
+        if peer == "dist":
+            if not self.system.fragments.is_fragmented(name):
+                raise SessionError(
+                    f"document {name!r} is not fragmented; register it "
+                    "through repro.dist.Fragmenter or bind 'doc@peer'"
+                )
+            return FragmentedDoc(name)
         self.system.peer(peer)
         return DocExpr(name, peer)
 

@@ -23,6 +23,7 @@ True
 """
 
 from .generator import (
+    FRAGMENTED_SPEC,
     QUERY_SHAPES,
     TOPOLOGIES,
     GeneratedDocument,
@@ -35,6 +36,8 @@ from .generator import (
 from .harness import (
     DEFAULT_STRATEGIES,
     DifferentialHarness,
+    FragmentedQueryResult,
+    FragmentedSweepReport,
     HarnessReport,
     Mismatch,
     QueryDifferential,
@@ -51,11 +54,14 @@ __all__ = [
     "GeneratedQuery",
     "TOPOLOGIES",
     "QUERY_SHAPES",
+    "FRAGMENTED_SPEC",
     "DifferentialHarness",
     "HarnessReport",
     "ScenarioReport",
     "QueryDifferential",
     "StrategyOutcome",
     "Mismatch",
+    "FragmentedQueryResult",
+    "FragmentedSweepReport",
     "DEFAULT_STRATEGIES",
 ]

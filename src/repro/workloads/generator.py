@@ -28,6 +28,7 @@ from dataclasses import dataclass, field, fields, replace
 from random import Random
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..dist.fragmenter import Fragmenter
 from ..errors import WorkloadError
 from ..net import topology as topo
 from ..net.network import Network
@@ -45,6 +46,7 @@ __all__ = [
     "ScenarioGenerator",
     "TOPOLOGIES",
     "QUERY_SHAPES",
+    "FRAGMENTED_SPEC",
 ]
 
 #: Topology names the generator draws from (`"any"` rotates over them).
@@ -85,6 +87,13 @@ class ScenarioSpec:
     replicas: int = 1
     queries: int = 5
     query_shapes: Tuple[str, ...] = QUERY_SHAPES
+    #: Number of passive documents to fragment horizontally across peers
+    #: (the ``fragmented`` scenario family); their query bindings become
+    #: ``name@dist``, evaluated scatter-gather through the catalog.
+    fragments: int = 0
+    #: Replicas of each fragment, mirrored onto other peers and resolved
+    #: through the generic registry (pick policies choose the copy).
+    fragment_replicas: int = 0
 
     def validate(self) -> None:
         if self.peers < 1:
@@ -96,7 +105,7 @@ class ScenarioSpec:
             )
         for count_field in (
             "documents", "axml_documents", "services", "replicas",
-            "payload_words", "value_range",
+            "payload_words", "value_range", "fragments", "fragment_replicas",
         ):
             if getattr(self, count_field) < 0:
                 raise WorkloadError(f"{count_field} cannot be negative")
@@ -114,6 +123,20 @@ class ScenarioSpec:
             )
         if self.replicas > self.documents:
             raise WorkloadError("cannot replicate more documents than exist")
+        if self.fragments:
+            if self.peers < 2:
+                raise WorkloadError(
+                    "fragmented scenarios need at least two peers"
+                )
+            if self.fragments + self.replicas > self.documents:
+                raise WorkloadError(
+                    "cannot fragment more passive documents than remain "
+                    "after replication"
+                )
+            if self.fragment_replicas > self.peers - 1:
+                raise WorkloadError(
+                    "fragment_replicas cannot exceed peers - 1"
+                )
 
     def to_kwargs(self) -> Dict[str, object]:
         """Literal kwargs reconstructing this spec (for repro scripts)."""
@@ -134,6 +157,10 @@ class GeneratedDocument:
     generic: Optional[str] = None
     #: Whether the document embeds a service call (AXML).
     active: bool = False
+    #: Whether the document was horizontally fragmented (queries then
+    #: bind it as ``name@dist``; the whole document stays installed at
+    #: its home peer as the unfragmented baseline).
+    fragmented: bool = False
 
 
 @dataclass(frozen=True)
@@ -229,6 +256,8 @@ class Scenario:
                 str(member) for member in registry.document_members(generic)
             )
             lines.append(f"generic {generic} -> {members}")
+        for info in self.system.fragments:
+            lines.append(f"fragmented {info.describe()}")
         for query in self.queries:
             binds = " ".join(f"{param}={target}" for param, target in query.bind)
             lines.append(f"query {query.name} shape={query.shape} at={query.at} {binds}")
@@ -285,6 +314,7 @@ class ScenarioGenerator:
 
         services = self._install_services(rng, spec, system, peer_ids)
         documents = self._install_documents(rng, spec, system, peer_ids, services)
+        documents = self._fragment(rng, spec, system, peer_ids, documents)
         queries = self._generate_queries(rng, spec, documents, peer_ids)
         return Scenario(
             seed=self.seed,
@@ -430,6 +460,44 @@ class ScenarioGenerator:
             out.append(replace(doc, generic=generic))
         return out
 
+    def _fragment(
+        self,
+        rng: Random,
+        spec: ScenarioSpec,
+        system: AXMLSystem,
+        peer_ids: Sequence[str],
+        documents: List[GeneratedDocument],
+    ) -> List[GeneratedDocument]:
+        """The ``fragmented`` family: shard some passive documents.
+
+        Chosen documents are split across 2–3 peers (never more than the
+        document has items); the whole document stays installed at its
+        home as the baseline the differential harness compares against.
+        Only drawn from the rng when ``spec.fragments > 0``, so existing
+        seeds reproduce byte-identically.
+        """
+        if spec.fragments == 0 or len(peer_ids) < 2:
+            return documents
+        candidates = [
+            doc for doc in documents if not doc.active and not doc.generic
+        ]
+        rng.shuffle(candidates)
+        chosen = {doc.name for doc in candidates[: spec.fragments]}
+        fragmenter = Fragmenter(system)
+        out: List[GeneratedDocument] = []
+        for doc in documents:
+            if doc.name not in chosen:
+                out.append(doc)
+                continue
+            width = min(len(peer_ids), rng.choice((2, 3)), doc.n_items)
+            across = rng.sample(list(peer_ids), width)
+            replicas = min(spec.fragment_replicas, len(peer_ids) - 1)
+            fragmenter.fragment(
+                doc.name, doc.peer, across, replicas=replicas
+            )
+            out.append(replace(doc, fragmented=True))
+        return out
+
     def _make_tree(
         self,
         rng: Random,
@@ -516,7 +584,29 @@ class ScenarioGenerator:
         return queries
 
     def _target(self, rng: Random, doc: GeneratedDocument) -> str:
-        """Concrete ``name@peer`` binding, or generic when replicated."""
+        """Concrete ``name@peer`` binding, or generic/fragmented views."""
+        if doc.fragmented:
+            return f"{doc.name}@dist"
         if doc.generic and rng.random() < 0.5:
             return f"{doc.generic}@any"
         return f"{doc.name}@{doc.peer}"
+
+
+#: The ``fragmented`` scenario family: a wider peer set, two sharded
+#: documents with one replica per fragment, and a query mix whose
+#: fragmented bindings (``name@dist``) exercise scatter-gather on every
+#: scenario.  The differential harness's fragmented sweep
+#: (:meth:`~repro.workloads.harness.DifferentialHarness.check_fragmented`)
+#: asserts the answers stay byte-identical to the whole-document
+#: baseline under every strategy.
+FRAGMENTED_SPEC = ScenarioSpec(
+    peers=5,
+    documents=3,
+    axml_documents=1,
+    items=14,
+    services=1,
+    replicas=0,
+    queries=6,
+    fragments=2,
+    fragment_replicas=1,
+)

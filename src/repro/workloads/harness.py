@@ -42,6 +42,8 @@ __all__ = [
     "ScenarioReport",
     "HarnessReport",
     "Mismatch",
+    "FragmentedQueryResult",
+    "FragmentedSweepReport",
     "DifferentialHarness",
     "DEFAULT_STRATEGIES",
 ]
@@ -295,6 +297,71 @@ class HarnessReport:
         return "\n".join(lines)
 
 
+@dataclass
+class FragmentedQueryResult:
+    """One fragmented query vs its whole-document baseline.
+
+    ``baseline_answers`` are the *serialized* answers (byte form, order
+    kept) of the query with every ``@dist`` binding rewritten to the
+    concrete ``@home`` document; ``answers`` maps each strategy to its
+    serialized answers over the fragmented binding.  The contract is
+    byte equality, stronger than the canonical-multiset agreement of the
+    plain differential check: fragmentation must be invisible.
+    """
+
+    query: GeneratedQuery
+    baseline_answers: Tuple[str, ...]
+    answers: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(
+            candidate == self.baseline_answers
+            for candidate in self.answers.values()
+        )
+
+    @property
+    def disagreeing(self) -> List[str]:
+        return sorted(
+            name for name, candidate in self.answers.items()
+            if candidate != self.baseline_answers
+        )
+
+
+@dataclass
+class FragmentedSweepReport:
+    """Aggregate byte-equality verdict over a fragmented sweep."""
+
+    scenarios: int = 0
+    results: List[FragmentedQueryResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def queries_checked(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> List[FragmentedQueryResult]:
+        return [result for result in self.results if not result.ok]
+
+    def describe(self) -> str:
+        verdict = "ok" if self.ok else f"{len(self.failures)} FAILURES"
+        lines = [
+            f"fragmented sweep: {self.scenarios} scenarios, "
+            f"{self.queries_checked} fragmented queries -> {verdict}"
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  query {failure.query.name!r} ({failure.query.shape}): "
+                f"{', '.join(failure.disagreeing)} diverged from the "
+                "whole-document baseline"
+            )
+        return "\n".join(lines)
+
+
 class DifferentialHarness:
     """Run queries under every strategy and assert they agree.
 
@@ -428,6 +495,85 @@ class DifferentialHarness:
                 raise DifferentialMismatchError(
                     detail, mismatches[0] if mismatches else None
                 )
+        return report
+
+    # -- fragmented sweeps ---------------------------------------------------------
+    def check_fragmented_query(
+        self,
+        scenario: Scenario,
+        query: GeneratedQuery,
+        plan_cache: Optional[PlanCache] = None,
+    ) -> FragmentedQueryResult:
+        """Byte-compare one fragmented query against its baseline.
+
+        The baseline rewrites every ``@dist`` binding to the concrete
+        whole document at its home peer (the generator keeps it
+        installed), runs it once under the reference strategy, and the
+        fragmented binding runs under *every* strategy; all serialized
+        answer lists must be byte-identical, order included.
+        """
+        homes = {doc.name: doc.peer for doc in scenario.documents}
+        baseline_bind: Dict[str, str] = {}
+        for param, target in query.bind:
+            name, _, peer = target.rpartition("@")
+            if peer == "dist":
+                baseline_bind[param] = f"{name}@{homes[name]}"
+            else:
+                baseline_bind[param] = target
+        reference = self.strategies[0]
+        baseline_session = Session(
+            scenario.system,
+            strategy=reference,
+            strategy_options=self.strategy_options.get(reference),
+            pick_policy=self.pick_policy,
+        )
+        baseline = baseline_session.query(
+            query.source, query.at, bind=baseline_bind, name=query.name
+        )
+        result = FragmentedQueryResult(
+            query=query, baseline_answers=tuple(baseline.answers)
+        )
+        if plan_cache is None and self.share_plan_cache:
+            plan_cache = PlanCache()
+        for strategy in self.strategies:
+            session = Session(
+                scenario.system,
+                strategy=strategy,
+                strategy_options=self.strategy_options.get(strategy),
+                pick_policy=self.pick_policy,
+                plan_cache=plan_cache if plan_cache is not None else "auto",
+            )
+            report = session.query(**query.kwargs())
+            result.answers[strategy] = tuple(report.answers)
+        return result
+
+    def check_fragmented(
+        self,
+        scenarios: Iterable[Scenario],
+        raise_on_mismatch: bool = False,
+    ) -> FragmentedSweepReport:
+        """Sweep scenarios, byte-checking every ``@dist``-bound query.
+
+        Queries without a fragmented binding are skipped here (the plain
+        :meth:`check` sweep already covers them); a scenario generated
+        from a spec with ``fragments=0`` contributes nothing.
+        """
+        report = FragmentedSweepReport()
+        for scenario in scenarios:
+            report.scenarios += 1
+            plan_cache = PlanCache() if self.share_plan_cache else None
+            for query in scenario.queries:
+                if not any(t.endswith("@dist") for _, t in query.bind):
+                    continue
+                result = self.check_fragmented_query(scenario, query, plan_cache)
+                report.results.append(result)
+                if raise_on_mismatch and not result.ok:
+                    raise DifferentialMismatchError(
+                        f"fragmented answers diverged from the baseline on "
+                        f"query {query.name!r} of scenario "
+                        f"seed={scenario.seed} index={scenario.index} "
+                        f"(strategies: {', '.join(result.disagreeing)})"
+                    )
         return report
 
     # -- mismatch handling ---------------------------------------------------------
