@@ -1,0 +1,316 @@
+#!/usr/bin/env python3
+"""AP1 — adaptive placement: hotspot shift and peer-kill, adaptive vs static.
+
+Two experiments on hand-built fragmented systems, served through the
+concurrent engine with a `repro.placement.PlacementActor` ticking on the
+scheduler's virtual clock (`repro.placement`):
+
+* **hotspot shift** — a Zipf-skewed request stream (the `ScenarioSpec`
+  ``zipf_skew`` knob) hammers one fragmented document from one client,
+  then rotates its popularity ranking mid-stream.  Static placement
+  serializes every hot read through the two home peers' links; the
+  adaptive run's threshold+hysteresis rebalancer spawns fragment
+  replicas on idle peers, and queue-depth admission spreads the reads.
+  Jobs run unoptimized (naive scatter-gather), so the qps delta is
+  *pure placement* — same plans, different copies.
+* **peer kill** — a scripted `ChurnSchedule` kills a fragment-holding
+  peer mid-run.  The static run loses the fragment's only copy: every
+  later query fails with the typed `FragmentUnavailableError`.  The
+  adaptive run has already replicated under load, so catalog failover
+  promotes the surviving copy and **100%** of queries complete, with
+  answers byte-identical to a churn-free reference run.
+
+Claimed shape (asserted):
+
+* adaptive qps >= 1.5x static qps under the hotspot shift;
+* per-job answers byte-identical between adaptive and static runs;
+* under the kill schedule: adaptive completes 100%, static completes
+  < 100%, and every static failure is a `FragmentUnavailableError`.
+
+Emits ``benchmarks/results/BENCH_placement.json`` (headline:
+``adaptive_vs_static_qps_ratio``; CI's perf-smoke gates on it).
+
+Run:  python benchmarks/bench_a1_placement.py [--quick] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import replace
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import emit, emit_json, format_table, make_catalog, timed_run  # noqa: E402
+
+from repro.dist import Fragmenter  # noqa: E402
+from repro.engine import LoadGenerator  # noqa: E402
+from repro.errors import FragmentUnavailableError  # noqa: E402
+from repro.peers import AXMLSystem  # noqa: E402
+from repro.placement import (  # noqa: E402
+    ChurnEvent,
+    ChurnSchedule,
+    PlacementActor,
+    ThresholdPolicy,
+)
+from repro.session import Session  # noqa: E402
+from repro.workloads import Scenario, ScenarioSpec  # noqa: E402
+from repro.workloads.generator import GeneratedQuery  # noqa: E402
+
+BENCH_ID = "AP1"  # "A1" is taken by bench_a1_cost_ablation
+JSON_NAME = "BENCH_placement"
+
+#: Slow links, fast CPUs: fragment transfers dominate, so spreading
+#: copies across more links is what placement can actually buy.
+BANDWIDTH = 120_000.0
+LATENCY = 0.008
+COMPUTE = 400_000.0
+
+CLIENTS = ("c0", "c1", "c2", "c3")
+QUERY = "for $i in $d//item where $i/price >= 0 return $i/name"
+
+#: Virtual seconds between placement-actor ticks (one monitor window).
+TICK = 0.02
+KILL_AT = 0.1
+
+
+def fragmented_system(items: int) -> AXMLSystem:
+    """Two data peers, four clients; two docs fragmented over p0/p1."""
+    system = AXMLSystem.with_peers(
+        ["p0", "p1", *CLIENTS], "full_mesh",
+        latency=LATENCY, bandwidth=BANDWIDTH,
+    )
+    for peer in system.peers.values():
+        peer.compute_speed = COMPUTE
+    system.peer("p0").install_document("hotA", make_catalog(items, 4))
+    system.peer("p1").install_document("hotB", make_catalog(items, 4))
+    fragmenter = Fragmenter(system)
+    fragmenter.fragment("hotA", "p0", ["p0", "p1"], keep_original=False)
+    fragmenter.fragment("hotB", "p1", ["p1", "p0"], keep_original=False)
+    return system
+
+
+def hotspot_scenario(system: AXMLSystem, skew: float) -> Scenario:
+    """Six queries over the two fragmented docs, Zipf-ranked by spec."""
+    mix = [
+        ("q0", "hotA", "c0"), ("q1", "hotA", "c1"), ("q2", "hotB", "c2"),
+        ("q3", "hotB", "c3"), ("q4", "hotA", "c2"), ("q5", "hotB", "c0"),
+    ]
+    queries = [
+        GeneratedQuery(
+            name=name, shape="selection", source=QUERY, at=at,
+            bind=(("d", f"{doc}@dist"),),
+        )
+        for name, doc, at in mix
+    ]
+    spec = ScenarioSpec(peers=len(system.peers), zipf_skew=skew)
+    return Scenario(
+        seed=0, index=0, spec=spec, topology="full_mesh",
+        system=system, documents=[], services=[], queries=queries,
+    )
+
+
+def serve(
+    system: AXMLSystem,
+    scenario: Scenario,
+    jobs: int,
+    concurrency: int,
+    seed: int,
+    actor=None,
+    shift_at=None,
+):
+    """One closed-loop run; jobs unoptimized so plans are placement-free."""
+    scenario = replace(scenario, system=system)
+    session = Session(system)
+    load = LoadGenerator(scenario, seed=seed + 1)
+    feed = load.closed_loop(jobs, concurrency, shift_at=shift_at)
+    feed._pending = type(feed._pending)(
+        replace(request, optimize=False) for request in feed._pending
+    )
+    report, seconds = timed_run(
+        lambda: session.serve(
+            feed=feed, seed=seed, admission="link-aware", actor=actor
+        )
+    )
+    return report, seconds
+
+
+def answers_by_name(report):
+    return {job.name: tuple(job.answers) for job in report.jobs}
+
+
+def run_hotspot(seed: int, jobs: int, concurrency: int):
+    """Mid-run hotspot shift: adaptive vs static qps on identical streams."""
+    scenario = hotspot_scenario(fragmented_system(items=48), skew=2.6)
+    static_report, static_wall = serve(
+        scenario.system, scenario, jobs, concurrency, seed, shift_at=0.5
+    )
+    actor = PlacementActor(
+        interval=TICK,
+        policy=ThresholdPolicy(
+            hot_reads=2, hysteresis=2, cooldown=2, max_copies=5,
+            cold_hysteresis=6,
+        ),
+    )
+    adaptive_report, adaptive_wall = serve(
+        scenario.system, scenario, jobs, concurrency, seed,
+        actor=actor, shift_at=0.5,
+    )
+    assert static_report.metrics.failed == 0, "static hotspot run failed jobs"
+    assert adaptive_report.metrics.failed == 0, "adaptive hotspot run failed jobs"
+    assert answers_by_name(static_report) == answers_by_name(adaptive_report), (
+        "placement actions changed query answers"
+    )
+    return {
+        "static": (static_report, static_wall),
+        "adaptive": (adaptive_report, adaptive_wall),
+    }
+
+
+def run_peer_kill(seed: int, jobs: int, concurrency: int):
+    """Scripted kill of a fragment home: survival adaptive vs static."""
+    scenario = hotspot_scenario(fragmented_system(items=48), skew=0.0)
+
+    # churn-free reference: the ground truth every answer must match
+    reference, _ = serve(scenario.system, scenario, jobs, concurrency, seed)
+
+    schedule = lambda: ChurnSchedule([ChurnEvent(KILL_AT, "kill", "p1")])
+    static_actor = PlacementActor(
+        interval=TICK, churn=schedule(), rebalance=False
+    )
+    static_report, _ = serve(
+        scenario.system, scenario, jobs, concurrency, seed, actor=static_actor
+    )
+    adaptive_actor = PlacementActor(
+        interval=TICK,
+        policy=ThresholdPolicy(
+            hot_reads=2, hysteresis=2, cooldown=2, max_copies=2
+        ),
+        churn=schedule(),
+    )
+    adaptive_report, _ = serve(
+        scenario.system, scenario, jobs, concurrency, seed, actor=adaptive_actor
+    )
+
+    reference_answers = answers_by_name(reference)
+    adaptive_answers = answers_by_name(adaptive_report)
+    assert adaptive_report.metrics.failed == 0, (
+        f"adaptive run lost {adaptive_report.metrics.failed} queries to the kill"
+    )
+    assert adaptive_answers == reference_answers, (
+        "failover changed query answers vs the churn-free reference"
+    )
+    assert static_report.metrics.failed > 0, (
+        "static run should lose queries when the only copy dies"
+    )
+    for job in static_report.jobs:
+        if job.error is not None:
+            assert isinstance(job.error, FragmentUnavailableError), (
+                f"untyped failure {type(job.error).__name__}: {job.error}"
+            )
+    return reference, static_report, adaptive_report
+
+
+def completion_rate(report) -> float:
+    total = len(report.jobs)
+    return (total - report.metrics.failed) / total if total else 0.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller run for CI's perf-smoke job")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    jobs = 96 if args.quick else 160
+    kill_jobs = 30 if args.quick else 48
+    concurrency = 8
+
+    # -- part 1: hotspot shift ---------------------------------------------------
+    hotspot = run_hotspot(args.seed, jobs, concurrency)
+    static_m = hotspot["static"][0].metrics
+    adaptive_m = hotspot["adaptive"][0].metrics
+    ratio = adaptive_m.queries_per_sec / max(1e-9, static_m.queries_per_sec)
+    actions = hotspot["adaptive"][0].actions
+
+    # -- part 2: peer kill -------------------------------------------------------
+    reference, static_kill, adaptive_kill = run_peer_kill(
+        args.seed, kill_jobs, concurrency
+    )
+    static_rate = completion_rate(static_kill)
+    adaptive_rate = completion_rate(adaptive_kill)
+
+    rows = [
+        ("hotspot static", static_m.jobs, static_m.makespan * 1000,
+         static_m.queries_per_sec, 1.0, 0),
+        ("hotspot adaptive", adaptive_m.jobs, adaptive_m.makespan * 1000,
+         adaptive_m.queries_per_sec, ratio, len(actions)),
+        ("kill static", static_kill.metrics.jobs,
+         static_kill.metrics.makespan * 1000,
+         static_kill.metrics.queries_per_sec, static_rate,
+         len(static_kill.actions)),
+        ("kill adaptive", adaptive_kill.metrics.jobs,
+         adaptive_kill.metrics.makespan * 1000,
+         adaptive_kill.metrics.queries_per_sec, adaptive_rate,
+         len(adaptive_kill.actions)),
+    ]
+    emit(
+        BENCH_ID,
+        "adaptive vs static placement: hotspot shift and peer kill",
+        format_table(
+            ["run", "done", "makespan ms", "qps", "ratio/rate", "actions"],
+            rows,
+        ),
+    )
+    print("\nadaptive placement actions (hotspot run):")
+    for action in actions:
+        print(f"  {action}")
+    print("\nadaptive placement actions (kill run):")
+    for action in adaptive_kill.actions:
+        print(f"  {action}")
+
+    payload = {
+        "bench": BENCH_ID,
+        "seed": args.seed,
+        "hotspot_jobs": jobs,
+        "kill_jobs": kill_jobs,
+        "concurrency": concurrency,
+        "static_qps": round(static_m.queries_per_sec, 2),
+        "adaptive_qps": round(adaptive_m.queries_per_sec, 2),
+        "adaptive_vs_static_qps_ratio": round(ratio, 3),
+        "hotspot_actions": len(actions),
+        "kill_static_completion": round(static_rate, 4),
+        "kill_adaptive_completion": round(adaptive_rate, 4),
+        "kill_static_failures_typed": True,  # asserted in run_peer_kill
+        "answers_identical_to_static": True,  # asserted in run_hotspot
+        "answers_identical_to_reference": True,  # asserted in run_peer_kill
+    }
+    emit_json(JSON_NAME, payload, quick=args.quick)
+
+    print(
+        f"\nhotspot shift: adaptive {adaptive_m.queries_per_sec:.1f} q/s vs "
+        f"static {static_m.queries_per_sec:.1f} q/s (x{ratio:.2f}); "
+        f"peer kill: adaptive completes {adaptive_rate:.0%}, "
+        f"static {static_rate:.0%}"
+    )
+
+    if ratio < 1.5:
+        print(
+            f"FAIL: adaptive/static qps ratio {ratio:.2f} under the hotspot "
+            "shift fell below the 1.5x bar"
+        )
+        return 1
+    if adaptive_rate < 1.0:
+        print("FAIL: adaptive run did not complete 100% under the kill")
+        return 1
+    if static_rate >= 1.0:
+        print("FAIL: static run unexpectedly survived the kill intact")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,7 +39,13 @@ HEADLINES = {
     "BENCH_planspace": ("cost_call_ratio", "higher"),
     "BENCH_throughput": ("top_concurrency_qps", "higher"),
     "BENCH_fragmentation": ("selective_bytes_ratio", "higher"),
+    "BENCH_placement": ("adaptive_vs_static_qps_ratio", "higher"),
 }
+
+#: Rolling per-bench history: how many ``{sha, date, headline}`` points a
+#: root baseline carries.  Enough to eyeball a trajectory across PRs
+#: without the files growing forever.
+HISTORY_CAP = 20
 
 
 def normalize(name: str, payload: dict) -> dict:
@@ -63,6 +69,28 @@ def normalize(name: str, payload: dict) -> dict:
         "headline": headline,
         "metrics": payload,
     }
+
+
+def extend_history(baseline, fresh: dict, cap: int = HISTORY_CAP) -> dict:
+    """Carry the baseline's rolling history forward onto ``fresh``.
+
+    Each gated bench accumulates one ``{sha, date, headline}`` point per
+    recorded run (deduplicated by SHA — re-running on the same commit
+    replaces the point), capped to the most recent ``cap`` entries.  The
+    gate itself still compares only the latest baseline headline; the
+    history is the CI-tracked trajectory.
+    """
+    history = list((baseline or {}).get("history", ()))
+    if fresh.get("headline"):
+        point = {
+            "sha": fresh.get("git_sha", "unknown"),
+            "date": fresh.get("date", "unknown"),
+            "headline": fresh["headline"]["value"],
+        }
+        history = [p for p in history if p.get("sha") != point["sha"]]
+        history.append(point)
+    fresh["history"] = history[-cap:]
+    return fresh
 
 
 def regression(baseline: dict, fresh: dict, threshold: float):
@@ -127,6 +155,7 @@ def main() -> int:
         fresh = normalize(name, payload)
         root_path = os.path.join(args.root, f"{name}.json")
         regressed = False
+        baseline = None
         if os.path.exists(root_path):
             with open(root_path, "r", encoding="utf-8") as handle:
                 baseline = json.load(handle)
@@ -136,6 +165,7 @@ def main() -> int:
                 failures.append(f"{name}: {note}")
         else:
             print(f"{name}: no baseline at {root_path}; recording first point")
+        extend_history(baseline, fresh)
         if args.no_write:
             continue
         if regressed and not args.force_baseline:

@@ -40,7 +40,12 @@ Underneath, the package implements, from scratch:
   scheduler interleaving jobs as discrete events on one shared Σ, with
   per-peer compute queues, replica-aware admission, and seeded open- /
   closed-loop load generation (``session.submit()`` / ``drain()`` /
-  ``serve()``).
+  ``serve()``);
+* :mod:`repro.placement` — adaptive placement: telemetry-driven
+  rebalancing (replica lifecycle, fragment migration and re-splits as
+  atomic catalog transactions) and peer-churn survival (catalog
+  failover, typed unavailability), ticking on the scheduler's virtual
+  clock as a background actor.
 
 Start with ``examples/quickstart.py`` or the README.
 """
@@ -63,4 +68,5 @@ __all__ = [
     "session",
     "workloads",
     "engine",
+    "placement",
 ]

@@ -37,6 +37,9 @@ from ..axml.document import ServiceCall
 from ..errors import (
     EvaluationUndefinedError,
     ExpressionError,
+    FragmentUnavailableError,
+    GenericResolutionError,
+    PeerDownError,
     ServiceCallError,
     UnknownServiceError,
 )
@@ -141,7 +144,9 @@ class ExpressionEvaluator:
     def _dispatch(
         self, expr: Expression, at: str, ready_at: float, _depth: int
     ) -> EvalOutcome:
-        self.system.peer(at)  # validate the site exists
+        site = self.system.peer(at)  # validate the site exists
+        if not site.alive:
+            raise PeerDownError(f"evaluation site {at!r} has left the system")
         if isinstance(expr, TreeExpr):
             return self._eval_tree(expr, at, ready_at, _depth)
         if isinstance(expr, DocExpr):
@@ -249,6 +254,10 @@ class ExpressionEvaluator:
         self, expr: DocExpr, at: str, ready_at: float, depth: int
     ) -> EvalOutcome:
         home = self.system.peer(expr.home)
+        if not home.alive:
+            raise PeerDownError(
+                f"document {expr.name!r} is homed on dead peer {expr.home!r}"
+            )
         tree = home.document(expr.name)
         inner = TreeExpr(tree, expr.home)
         if at == expr.home:
@@ -293,12 +302,30 @@ class ExpressionEvaluator:
         outcome = EvalOutcome(completed_at=ready_at)
         root = Element(info.root_tag, attrs=dict(info.root_attrs))
         for fragment in info.fragments:
+            live = [
+                pid
+                for pid in fragment.peers
+                if pid in self.system.peers
+                and self.system.peers[pid].alive
+                and self.system.peers[pid].has_document(fragment.name)
+            ]
+            if not live:
+                # every copy died with its peer: refuse loudly rather
+                # than reassemble a partial document (a wrong answer).
+                raise FragmentUnavailableError(fragment.name, fragment.peers)
             ref: Expression
             if fragment.generic is not None:
                 ref = GenericDoc(fragment.generic)
             else:
-                ref = DocExpr(fragment.name, fragment.home)
-            sub = self.eval(ref, at, ready_at, depth + 1)
+                ref = DocExpr(fragment.name, live[0])
+            try:
+                sub = self.eval(ref, at, ready_at, depth + 1)
+            except GenericResolutionError:
+                # the registry lost the last live member (e.g. churn
+                # cleanup raced a concurrent retire): same typed failure.
+                raise FragmentUnavailableError(
+                    fragment.name, fragment.peers
+                ) from None
             outcome.merge_effects(sub)
             outcome.completed_at = max(outcome.completed_at, sub.completed_at)
             for item in sub.items:
@@ -397,6 +424,10 @@ class ExpressionEvaluator:
         else:
             service_name = expr.service
         provider = self.system.peer(provider_id)
+        if not provider.alive:
+            raise PeerDownError(
+                f"service provider {provider_id!r} has left the system"
+            )
         try:
             service = provider.service(service_name)
         except UnknownServiceError:

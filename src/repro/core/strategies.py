@@ -35,7 +35,7 @@ from typing import (
     runtime_checkable,
 )
 
-from ..errors import OptimizerError
+from ..errors import FragmentUnavailableError, OptimizerError, PeerDownError
 from ..peers.system import AXMLSystem
 from .cost import Cost, measure
 from .planspace import CacheStats, PlanCache, plan_fingerprint
@@ -200,6 +200,17 @@ class SearchSpace:
     def score_original(self, plan: Plan) -> Cost:
         cost = self.score(plan)
         if cost is None:
+            # Re-run the cost function outside the catch-all so churn's
+            # *typed* verdicts surface (FragmentUnavailableError when the
+            # last copy died, PeerDownError when the site left) — cached
+            # unevaluable verdicts would otherwise swallow them.  Any
+            # other failure keeps the classic optimizer-level verdict.
+            try:
+                self.cost_fn(plan)
+            except (FragmentUnavailableError, PeerDownError):
+                raise
+            except Exception:
+                pass
             raise OptimizerError("the original plan is not evaluable")
         return cost
 

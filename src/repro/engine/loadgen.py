@@ -69,30 +69,87 @@ class LoadGenerator:
     True
     """
 
-    def __init__(self, scenario: Scenario, seed: int = 0) -> None:
+    def __init__(
+        self, scenario: Scenario, seed: int = 0, skew: Optional[float] = None
+    ) -> None:
         if not scenario.queries:
             raise WorkloadError("scenario has no queries to serve")
         self.scenario = scenario
         self.seed = seed
+        if skew is None:
+            skew = float(getattr(scenario.spec, "zipf_skew", 0.0) or 0.0)
+        if skew < 0:
+            raise WorkloadError(f"zipf skew must be >= 0, got {skew!r}")
+        #: Zipf popularity exponent over the scenario's query list: query
+        #: at rank ``r`` (0-based) is drawn with weight ``1/(r+1)^skew``.
+        #: 0 is the exact uniform draw the streams always used — the
+        #: byte-identity property the workload tests pin.
+        self.skew = skew
 
     def _rng(self, label: str) -> Random:
         # one private stream per (seed, process shape): changing the
         # open-loop rate never perturbs a closed-loop run's query mix
         return Random(f"loadgen:{self.seed}:{label}")
 
-    def requests(self, count: int, label: str = "requests") -> List[JobRequest]:
-        """``count`` requests drawn uniformly over the scenario's queries.
+    def _pool(self, shifted: bool) -> List:
+        """The rank-ordered query pool, rotated by half after a shift.
 
-        All arrivals are 0.0 — feed them to a closed loop, or re-time
-        them via :meth:`open_loop`.  Job names are ``<query>#<k>`` so a
-        served job traces back to the generated query it instantiates.
+        Rotating moves the tail queries to the head ranks, so under skew
+        the *hot* queries change mid-stream — the hotspot shift the
+        adaptive-placement bench throws at the rebalancer.
+        """
+        queries = list(self.scenario.queries)
+        if shifted and len(queries) > 1:
+            half = len(queries) // 2
+            queries = queries[half:] + queries[:half]
+        return queries
+
+    def _draw(self, rng: Random, pool: List):
+        if not self.skew:
+            # exact historical code path: byte-identical uniform streams
+            return rng.choice(pool)
+        weights = [1.0 / (rank + 1) ** self.skew for rank in range(len(pool))]
+        point = rng.random() * sum(weights)
+        acc = 0.0
+        for query, weight in zip(pool, weights):
+            acc += weight
+            if point < acc:
+                return query
+        return pool[-1]
+
+    def requests(
+        self,
+        count: int,
+        label: str = "requests",
+        shift_at: Optional[float] = None,
+    ) -> List[JobRequest]:
+        """``count`` requests drawn over the scenario's queries.
+
+        The draw is uniform by default, Zipf-weighted when the generator
+        (or the scenario's spec) carries a nonzero ``skew``.  With
+        ``shift_at`` (a fraction of ``count`` in (0, 1]) the popularity
+        ranking rotates by half at that point in the stream — a mid-run
+        hotspot shift.  All arrivals are 0.0 — feed them to a closed
+        loop, or re-time them via :meth:`open_loop`.  Job names are
+        ``<query>#<k>`` so a served job traces back to the generated
+        query it instantiates.
         """
         if count < 1:
             raise WorkloadError(f"need at least one request, got {count!r}")
+        shift_index: Optional[int] = None
+        if shift_at is not None:
+            if not 0.0 < shift_at <= 1.0:
+                raise WorkloadError(
+                    f"shift_at must be a fraction in (0, 1], got {shift_at!r}"
+                )
+            shift_index = int(count * shift_at)
         rng = self._rng(label)
+        pool = self._pool(False)
         out: List[JobRequest] = []
         for k in range(count):
-            query = rng.choice(self.scenario.queries)
+            if shift_index is not None and k == shift_index:
+                pool = self._pool(True)
+            query = self._draw(rng, pool)
             out.append(
                 JobRequest(
                     source=query.source,
@@ -103,23 +160,31 @@ class LoadGenerator:
             )
         return out
 
-    def open_loop(self, count: int, rate: float) -> List[JobRequest]:
+    def open_loop(
+        self, count: int, rate: float, shift_at: Optional[float] = None
+    ) -> List[JobRequest]:
         """Poisson arrivals at ``rate`` queries per virtual second."""
         if rate <= 0:
             raise WorkloadError(f"open-loop rate must be positive, got {rate!r}")
         rng = self._rng(f"open:{rate!r}")
         clock = 0.0
         out: List[JobRequest] = []
-        for request in self.requests(count, label=f"open:{rate!r}:mix"):
+        for request in self.requests(
+            count, label=f"open:{rate!r}:mix", shift_at=shift_at
+        ):
             clock += rng.expovariate(rate)
             out.append(replace(request, arrival=clock))
         return out
 
-    def closed_loop(self, count: int, concurrency: int) -> ClosedLoopFeed:
+    def closed_loop(
+        self, count: int, concurrency: int, shift_at: Optional[float] = None
+    ) -> ClosedLoopFeed:
         """A fixed-concurrency feed over ``count`` requests.
 
         The request mix depends only on ``(seed, count)`` — *not* on the
         concurrency — so sweeping concurrency levels compares identical
         work (the throughput bench's apples-to-apples requirement).
         """
-        return ClosedLoopFeed(self.requests(count, label="closed"), concurrency)
+        return ClosedLoopFeed(
+            self.requests(count, label="closed", shift_at=shift_at), concurrency
+        )

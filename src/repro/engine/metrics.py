@@ -88,6 +88,10 @@ class ServingReport:
     #: Scheduler event trace ``(time, kind, job name)``, admission order —
     #: byte-stable for a fixed seed (the determinism tests pin this).
     events: List[str] = field(default_factory=list)
+    #: Timestamped placement-action trace (replica spawns, migrations,
+    #: churn failover) when a :class:`repro.placement.PlacementActor`
+    #: rode the run; empty for static placement.
+    actions: List[str] = field(default_factory=list)
 
     @property
     def reports(self) -> List[Optional["ExecutionReport"]]:
@@ -104,6 +108,10 @@ class ServingReport:
         lines = [self.metrics.describe(), "jobs:"]
         for job in self.jobs:
             lines.append(f"  {job.describe()}")
+        if self.actions:
+            lines.append("placement actions:")
+            for action in self.actions:
+                lines.append(f"  {action}")
         return "\n".join(lines)
 
 

@@ -55,10 +55,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Scheduler"]
 
-#: Event kinds, in same-instant processing order: free resources first.
+#: Event kinds, in same-instant processing order: free resources first,
+#: then let the placement actor observe, then admit new work against the
+#: (possibly just-rebalanced) catalog.
 _COMPLETION = 0
-_ARRIVAL = 1
-_KIND_NAMES = {_COMPLETION: "finish", _ARRIVAL: "admit"}
+_TICK = 1
+_ARRIVAL = 2
+_KIND_NAMES = {_COMPLETION: "finish", _TICK: "tick", _ARRIVAL: "admit"}
 
 
 class _ChargingPolicy(PickPolicy):
@@ -118,9 +121,17 @@ class Scheduler:
         session: "Session",
         seed: int = 0,
         admission: Union[str, PickPolicy, None] = "queue-depth",
+        actor=None,
     ) -> None:
         self.session = session
         self.seed = seed
+        #: Optional background placement actor (duck-typed: ``interval``
+        #: attribute plus ``on_tick(target, now) -> list[str]``) ticked on
+        #: the virtual clock between query events — see
+        #: :class:`repro.placement.PlacementActor`.
+        self.actor = actor
+        #: Timestamped placement-action trace collected from actor ticks.
+        self.actions: List[str] = []
         self._rng = Random(f"engine:{seed}")
         if isinstance(admission, str):
             factory = POLICIES.get(admission)
@@ -195,12 +206,17 @@ class Scheduler:
         try:
             if feed is not None:
                 self.submit_all(feed.initial())
+            if self.actor is not None and self._heap:
+                self._push(self.actor.interval, _TICK, None)
             while self._heap:
                 time, kind, _tie, _seq, job = heapq.heappop(self._heap)
                 self.events.append(
-                    f"{time:.9f} {_KIND_NAMES[kind]} {job.name}"
+                    f"{time:.9f} {_KIND_NAMES[kind]} "
+                    f"{job.name if job is not None else 'placement'}"
                 )
-                if kind == _ARRIVAL:
+                if kind == _TICK:
+                    self._tick(time, target)
+                elif kind == _ARRIVAL:
                     self._admit(job, time, target, evaluator)
                 else:
                     self._complete(job, time, target, feed)
@@ -225,6 +241,7 @@ class Scheduler:
             },
             peers=target.stats_snapshot(),
             events=list(self.events),
+            actions=list(self.actions),
         )
 
     def _serving_system(self) -> AXMLSystem:
@@ -237,6 +254,25 @@ class Scheduler:
             # coherent table and let it warm over the run itself
             self.session.plan_cache.clear()
         return target
+
+    def _tick(self, now: float, target: AXMLSystem) -> None:
+        """One placement-actor heartbeat on the virtual clock.
+
+        The actor observes the serving Σ and may mutate the catalog
+        (replicas, migrations, churn failover).  Any action invalidates
+        cached plan expansions — fragment rewrites bake catalog state in
+        — so the session's plan cache is cleared before the next
+        admission plans.  The next tick is only scheduled while other
+        events remain, so a quiescent heap drains instead of ticking
+        forever.
+        """
+        notes = self.actor.on_tick(target, now)
+        for note in notes:
+            self.actions.append(f"{now:.9f} {note}")
+        if notes and self.session.plan_cache is not None:
+            self.session.plan_cache.clear()
+        if self._heap:
+            self._push(now + self.actor.interval, _TICK, None)
 
     def _admit(
         self,

@@ -105,6 +105,15 @@ class GenericResolutionError(PeerError):
     """Raised when a generic name (``d@any``) has no member to pick."""
 
 
+class PeerDownError(PeerError):
+    """Raised when an operation needs a peer that has left the system.
+
+    Peers die under churn (:mod:`repro.placement`): a dead peer keeps its
+    identity (so in-flight accounting can settle) but can no longer host
+    evaluations, serve documents, or answer service calls.
+    """
+
+
 class AXMLError(ReproError):
     """Base class for AXML-layer errors (sc nodes, activation)."""
 
@@ -161,6 +170,24 @@ class FragmentationError(ReproError):
     children are not all elements (no well-defined horizontal split), or
     registering two catalogs entries for the same logical document.
     """
+
+
+class FragmentUnavailableError(FragmentationError):
+    """A fragment has no live copy left, so the query cannot be answered.
+
+    Raised instead of returning a partial (wrong) answer when every peer
+    holding a copy of a fragment has left the system.  Carries the
+    fragment id and its last-known hosting peers so callers (and serving
+    reports) can say exactly which slice of which document is gone.
+    """
+
+    def __init__(self, fragment: str, peers: tuple = ()) -> None:
+        self.fragment = fragment
+        self.peers = tuple(peers)
+        known = ", ".join(self.peers) if self.peers else "no known peers"
+        super().__init__(
+            f"fragment {fragment!r} has no live copy (last known on: {known})"
+        )
 
 
 class DifferentialMismatchError(WorkloadError):

@@ -50,6 +50,14 @@ class Peer:
         #: (:mod:`repro.engine.scheduler`); replica-aware admission policies
         #: read it to route generic picks toward shallow queues.
         self.queued = 0
+        #: Whether the peer is part of the live system.  Churn
+        #: (:mod:`repro.placement`) marks peers dead instead of deleting
+        #: them so in-flight accounting can settle; dead peers refuse
+        #: evaluations and document reads via the evaluator.
+        self.alive = True
+        #: Per-document read counter (``document()`` hits), the demand
+        #: signal consumed by :class:`repro.placement.PlacementMonitor`.
+        self.doc_reads: Dict[str, int] = {}
 
     # -- documents ---------------------------------------------------------------
     def install_document(
@@ -71,11 +79,13 @@ class Peer:
 
     def document(self, name: str) -> Element:
         try:
-            return self.documents[name]
+            tree = self.documents[name]
         except KeyError:
             raise UnknownDocumentError(
                 f"no document {name!r} on peer {self.peer_id!r}"
             ) from None
+        self.doc_reads[name] = self.doc_reads.get(name, 0) + 1
+        return tree
 
     def has_document(self, name: str) -> bool:
         return name in self.documents

@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from ..errors import GenericResolutionError
+from ..errors import GenericResolutionError, ReproError
 from ..xmlcore.canon import canonical_hash
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -34,6 +34,7 @@ __all__ = [
     "NearestPolicy",
     "LeastLoadedPolicy",
     "QueueDepthPolicy",
+    "LinkAwarePolicy",
     "POLICIES",
 ]
 
@@ -137,13 +138,78 @@ class QueueDepthPolicy(PickPolicy):
         return min(enumerate(members), key=depth)[1]
 
 
+class LinkAwarePolicy(PickPolicy):
+    """Queue-depth admission that can also see the *network* clock.
+
+    :class:`QueueDepthPolicy` balances compute queues, but replica
+    *reads* are usually transfer-bound: shipping a fragment occupies the
+    FIFO link from the holder to the reader, and link occupancy never
+    shows up in any peer's CPU clock.  This policy keeps the queue-depth
+    ordering and inserts the route's ``busy_until`` (the instant the
+    last link on the member→requester route frees) ahead of the CPU
+    tie-breaks, so concurrent reads of a replicated fragment fan out
+    across copies instead of convoying on the primary's link.  A member
+    on the requesting peer always wins: a local read touches neither the
+    network nor the host's compute queue, so no amount of congestion
+    elsewhere makes a remote copy cheaper.  Fully deterministic, like
+    every serving policy.
+
+    The adaptive-placement loop (:mod:`repro.placement`) is what makes
+    this matter: replicas it spawns only relieve a hot link if picks can
+    notice the hot link.  Opt in with ``admission="link-aware"``.
+    """
+
+    def choose(self, members, requester, system):
+        def route_clock(member: GenericMember) -> float:
+            if member.peer == requester:
+                return 0.0
+            try:
+                links = system.network.route(member.peer, requester)
+            except ReproError:
+                return float("inf")
+            return max((link.busy_until for link in links), default=0.0)
+
+        def depth(indexed: Tuple[int, GenericMember]):
+            index, member = indexed
+            peer = system.peer(member.peer)
+            return (
+                member.peer != requester,
+                peer.queued,
+                route_clock(member),
+                peer.busy_until,
+                index,
+            )
+
+        return min(enumerate(members), key=depth)[1]
+
+
 POLICIES: Dict[str, Callable[[], PickPolicy]] = {
     "first": FirstPolicy,
     "random": RandomPolicy,
     "nearest": NearestPolicy,
     "least-loaded": LeastLoadedPolicy,
     "queue-depth": QueueDepthPolicy,
+    "link-aware": LinkAwarePolicy,
 }
+
+
+def _live(
+    members: Optional[List[GenericMember]], system: "AXMLSystem"
+) -> List[GenericMember]:
+    """Members whose hosting peer is still alive (or unknown to Σ).
+
+    :class:`ChurnController <repro.placement.ChurnController>` eagerly
+    unregisters dead peers' members; this filter is the belt-and-braces
+    guarantee that even an un-reacted kill never routes a pick to a dead
+    peer mid-run.
+    """
+    if not members:
+        return []
+    return [
+        m
+        for m in members
+        if m.peer not in system.peers or system.peers[m.peer].alive
+    ]
 
 
 class GenericRegistry:
@@ -176,6 +242,21 @@ class GenericRegistry:
         members = self._documents.get(generic_name, [])
         members[:] = [m for m in members if not (m.name == name and m.peer == peer)]
 
+    def remove_peer(self, peer: str) -> int:
+        """Drop every membership hosted on ``peer`` (churn cleanup).
+
+        Called by :class:`repro.placement.ChurnController` when a peer
+        dies, so generic resolution never routes a pick to it.  Returns
+        the number of memberships removed.
+        """
+        removed = 0
+        for classes in (self._documents, self._services):
+            for members in classes.values():
+                before = len(members)
+                members[:] = [m for m in members if m.peer != peer]
+                removed += before - len(members)
+        return removed
+
     def document_members(self, generic_name: str) -> List[GenericMember]:
         return list(self._documents.get(generic_name, []))
 
@@ -190,10 +271,10 @@ class GenericRegistry:
         system: "AXMLSystem",
         policy: Optional[PickPolicy] = None,
     ) -> GenericMember:
-        members = self._documents.get(generic_name)
+        members = _live(self._documents.get(generic_name), system)
         if not members:
             raise GenericResolutionError(
-                f"generic document {generic_name!r}@any has no members"
+                f"generic document {generic_name!r}@any has no live members"
             )
         return (policy or FirstPolicy()).choose(members, requester, system)
 
@@ -204,10 +285,10 @@ class GenericRegistry:
         system: "AXMLSystem",
         policy: Optional[PickPolicy] = None,
     ) -> GenericMember:
-        members = self._services.get(generic_name)
+        members = _live(self._services.get(generic_name), system)
         if not members:
             raise GenericResolutionError(
-                f"generic service {generic_name!r}@any has no members"
+                f"generic service {generic_name!r}@any has no live members"
             )
         return (policy or FirstPolicy()).choose(members, requester, system)
 

@@ -78,6 +78,14 @@ class AXMLSystem:
         except KeyError:
             raise UnknownPeerError(f"unknown peer {peer_id!r}") from None
 
+    def live_peers(self) -> List[str]:
+        """Identifiers of peers currently in the system, sorted.
+
+        Dead peers (churn victims, see :mod:`repro.placement`) keep their
+        entry in :attr:`peers` for accounting but are excluded here.
+        """
+        return sorted(pid for pid, peer in self.peers.items() if peer.alive)
+
     # -- state Σ -------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """A canonical image of Σ for equality comparison.
@@ -119,6 +127,7 @@ class AXMLSystem:
         twin = AXMLSystem(twin_network)
         for peer_id, peer in self.peers.items():
             twin_peer = twin.add_peer(peer_id, peer.compute_speed)
+            twin_peer.alive = peer.alive
             for name, tree in peer.documents.items():
                 twin_peer.install_document(name, tree.copy())
             for name, service in peer.services.items():
@@ -153,6 +162,8 @@ class AXMLSystem:
                 "busy_until": peer.busy_until,
                 "busy_time": peer.busy_time,
                 "queued": peer.queued,
+                "alive": peer.alive,
+                "doc_reads": dict(peer.doc_reads),
             }
         return image
 
@@ -182,6 +193,7 @@ class AXMLSystem:
         for peer in self.peers.values():
             peer.work_done = 0
             peer.busy_time = 0.0
+            peer.doc_reads = {}
 
     def reset(self) -> None:
         """Fresh measurement baseline: clocks *and* statistics, same Σ.

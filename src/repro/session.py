@@ -469,19 +469,22 @@ class Session:
         return reports
 
     # -- concurrent serving --------------------------------------------------------
-    def engine(self, seed: int = 0, admission="queue-depth"):
+    def engine(self, seed: int = 0, admission="queue-depth", actor=None):
         """The session's open serving engine, created on first use.
 
-        Call explicitly to pick a tie-breaking ``seed`` or an
-        ``admission`` policy before the first :meth:`submit`; once open,
-        the same engine is returned until :meth:`drain` closes it.  An
-        engine drained directly (or killed mid-drain) is replaced by a
-        fresh one on the next call.
+        Call explicitly to pick a tie-breaking ``seed``, an ``admission``
+        policy, or a background placement ``actor``
+        (:class:`repro.placement.PlacementActor`) before the first
+        :meth:`submit`; once open, the same engine is returned until
+        :meth:`drain` closes it.  An engine drained directly (or killed
+        mid-drain) is replaced by a fresh one on the next call.
         """
         from .engine.scheduler import Scheduler
 
         if self._engine is None or self._engine.drained:
-            self._engine = Scheduler(self, seed=seed, admission=admission)
+            self._engine = Scheduler(
+                self, seed=seed, admission=admission, actor=actor
+            )
         return self._engine
 
     def submit(
@@ -541,7 +544,14 @@ class Session:
         finally:
             self._engine = None
 
-    def serve(self, requests=(), feed=None, seed: int = 0, admission="queue-depth"):
+    def serve(
+        self,
+        requests=(),
+        feed=None,
+        seed: int = 0,
+        admission="queue-depth",
+        actor=None,
+    ):
         """Submit a request stream and drain it, in one call.
 
         Convenience over :meth:`submit` + :meth:`drain` for whole arrival
@@ -549,9 +559,12 @@ class Session:
         :class:`~repro.engine.jobs.JobRequest` (e.g. from
         :meth:`LoadGenerator.open_loop
         <repro.engine.loadgen.LoadGenerator.open_loop>`), ``feed`` a
-        closed-loop source.  Uses a private engine so pending
-        :meth:`submit` state is never mixed in (raises if the session
-        already has an open engine).
+        closed-loop source, ``actor`` an optional background placement
+        actor ticked on the virtual clock between query events (its
+        action trace lands on :attr:`ServingReport.actions
+        <repro.engine.metrics.ServingReport.actions>`).  Uses a private
+        engine so pending :meth:`submit` state is never mixed in (raises
+        if the session already has an open engine).
         """
         from .engine.scheduler import Scheduler
 
@@ -560,7 +573,7 @@ class Session:
                 "session has an open engine with pending jobs; "
                 "drain() it before calling serve()"
             )
-        engine = Scheduler(self, seed=seed, admission=admission)
+        engine = Scheduler(self, seed=seed, admission=admission, actor=actor)
         engine.submit_all(requests)
         return engine.drain(feed)
 
