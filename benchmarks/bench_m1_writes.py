@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""M1 — mutable documents: incremental writes vs rebuild-from-scratch.
+
+One fragmented + replicated catalog, one seeded stream of K writes
+(40/40/20 insert/update/delete), applied two ways:
+
+* **incremental** — each write goes through ``Session.write``: the
+  catalog routes it to the owning fragment's primary copy, deltas ship
+  to the replicas on the charged virtual clock, the catalog entry is
+  atomically refreshed, and the document epoch bumps so exactly the
+  affected cached plans/memos invalidate (``repro.writes``);
+* **rebuild** — the from-scratch baseline: each write edits the whole
+  document at its home, then every fragment is dropped and the document
+  re-fragmented + re-replicated over the same peers.  This is what a
+  system without a write path has to do to stay coherent.
+
+After both streams the same probe queries run on each system and must
+return byte-identical answers — the rebuild is the ground truth, so the
+speedup is only worth claiming if the incremental path lands in exactly
+the same state.
+
+Claimed shape (asserted):
+
+* probe answers byte-identical between incremental and rebuilt systems;
+* incremental wall-clock >= 3x faster than rebuild.
+
+Emits ``benchmarks/results/BENCH_writes.json`` (headline:
+``incremental_vs_rebuild_speedup``; CI's perf-smoke gates on it).
+
+Run:  python benchmarks/bench_m1_writes.py [--quick] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import emit, emit_json, format_table, make_catalog, timed_run  # noqa: E402
+
+from repro.dist import Fragmenter  # noqa: E402
+from repro.peers import AXMLSystem  # noqa: E402
+from repro.session import Session  # noqa: E402
+from repro.writes import DeleteOp, InsertOp, UpdateOp, apply_to_tree  # noqa: E402
+from repro.xmlcore import element  # noqa: E402
+
+BENCH_ID = "M1"
+JSON_NAME = "BENCH_writes"
+
+DOC = "cat"
+HOME = "p0"
+DATA_PEERS = ("p0", "p1", "p2")
+
+#: Answer-equality probes run on both final systems (bound at ``client``).
+PROBES = (
+    "for $i in $d//item where $i/price > 120 return $i/name",
+    "for $i in $d//item where $i/price <= 40 return $i/price",
+)
+
+
+def build_system(items: int) -> AXMLSystem:
+    """Three data peers + client; ``cat`` fragmented over all three,
+    one replica per fragment, whole-doc baseline kept at ``p0``."""
+    system = AXMLSystem.with_peers(["client", *DATA_PEERS], "full_mesh")
+    system.peer(HOME).install_document(DOC, make_catalog(items, 4))
+    Fragmenter(system).fragment(DOC, HOME, list(DATA_PEERS), replicas=1)
+    return system
+
+
+def make_writes(seed: int, count: int, items: int, value_range: int):
+    """Seeded 40/40/20 insert/update/delete mix against ``DOC``.
+
+    Ordinals are tracked against the running item count so every op is
+    in bounds; deletes are floored at the fragment count (a fragment may
+    never go empty, and the rebuild's even re-split needs >= 1 item per
+    target peer anyway).
+    """
+    rng = random.Random(seed)
+    live = items
+    ops = []
+    for k in range(count):
+        roll = rng.random()
+        if roll < 0.4:
+            item = element(
+                "item",
+                element("name", f"item-w{k}"),
+                element("price", str(rng.randint(0, value_range))),
+            )
+            ops.append(InsertOp(DOC, item, ordinal=rng.randint(0, live)))
+            live += 1
+        elif roll < 0.8 or live <= len(DATA_PEERS):
+            ops.append(
+                UpdateOp(
+                    DOC,
+                    rng.randint(0, live - 1),
+                    "price",
+                    str(rng.randint(0, value_range)),
+                )
+            )
+        else:
+            ops.append(DeleteOp(DOC, rng.randint(0, live - 1)))
+            live -= 1
+    return ops
+
+
+def run_incremental(system: AXMLSystem, ops) -> AXMLSystem:
+    """Apply every write through the session write path (the tentpole)."""
+    target = system.clone()
+    session = Session(target)
+    for op in ops:
+        session.write(op)
+    return target
+
+
+def run_rebuild(system: AXMLSystem, ops) -> AXMLSystem:
+    """Apply every write by editing the whole doc and re-fragmenting.
+
+    Per write — not per batch: the baseline models a system that must be
+    queryable (coherent) after each write, same as the incremental path.
+    """
+    target = system.clone()
+    home = target.peer(HOME)
+    for op in ops:
+        tree = home.documents[DOC]
+        apply_to_tree(tree, op)
+        home.allocator.assign(tree)
+        fragments = target.fragments.fragments(DOC)
+        across = [fragment.home for fragment in fragments]
+        replicas = len(fragments[0].replicas) if fragments else 0
+        for fragment in fragments:
+            for pid in fragment.peers:
+                if target.peer(pid).has_document(fragment.name):
+                    target.peer(pid).drop_document(fragment.name)
+            if fragment.generic:
+                for member in list(
+                    target.registry.document_members(fragment.generic)
+                ):
+                    target.registry.unregister_document(
+                        fragment.generic, member.name, member.peer
+                    )
+        target.fragments.drop(DOC)
+        Fragmenter(target).fragment(DOC, HOME, across, replicas=replicas)
+    return target
+
+
+def probe_answers(system: AXMLSystem):
+    """Probe-query answers on a *fresh* session (no carried caches)."""
+    session = Session(system, strategy="beam")
+    answers = []
+    for source in PROBES:
+        report = session.query(
+            source, at="client", bind={"d": f"{DOC}@dist"}
+        )
+        answers.append(tuple(report.answers))
+    return tuple(answers)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller run for CI's perf-smoke job")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    items = 400 if args.quick else 1500
+    count = 24 if args.quick else 48
+
+    system = build_system(items)
+    ops = make_writes(args.seed, count, items, value_range=items)
+    kinds = {"insert": 0, "update": 0, "delete": 0}
+    for op in ops:
+        kinds[type(op).__name__.replace("Op", "").lower()] += 1
+
+    written, incremental_s = timed_run(lambda: run_incremental(system, ops))
+    rebuilt, rebuild_s = timed_run(lambda: run_rebuild(system, ops))
+    speedup = rebuild_s / max(1e-9, incremental_s)
+
+    written_answers = probe_answers(written)
+    rebuilt_answers = probe_answers(rebuilt)
+    answers_match = written_answers == rebuilt_answers
+
+    rows = [
+        ("incremental", count, items, incremental_s * 1000,
+         count / max(1e-9, incremental_s)),
+        ("rebuild", count, items, rebuild_s * 1000,
+         count / max(1e-9, rebuild_s)),
+    ]
+    emit(
+        BENCH_ID,
+        "write path: incremental routing vs drop-and-refragment rebuild",
+        format_table(["mode", "writes", "items", "wall ms", "writes/s"], rows),
+    )
+    print(
+        f"\nmix: {kinds['insert']} inserts, {kinds['update']} updates, "
+        f"{kinds['delete']} deletes; epoch after run: "
+        f"{written.doc_epoch(DOC)}"
+    )
+
+    payload = {
+        "bench": BENCH_ID,
+        "seed": args.seed,
+        "items": items,
+        "writes": count,
+        "inserts": kinds["insert"],
+        "updates": kinds["update"],
+        "deletes": kinds["delete"],
+        "incremental_seconds": round(incremental_s, 4),
+        "rebuild_seconds": round(rebuild_s, 4),
+        "incremental_vs_rebuild_speedup": round(speedup, 2),
+        "answers_match_rebuild": answers_match,
+    }
+    emit_json(JSON_NAME, payload, quick=args.quick)
+
+    print(
+        f"\nincremental {incremental_s * 1000:.1f} ms vs rebuild "
+        f"{rebuild_s * 1000:.1f} ms for {count} writes (x{speedup:.1f})"
+    )
+
+    if not answers_match:
+        print("FAIL: incremental and rebuilt systems answered differently")
+        return 1
+    if speedup < 3.0:
+        print(
+            f"FAIL: incremental speedup x{speedup:.1f} over rebuild fell "
+            "below the 3x bar"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ HEADLINES = {
     "BENCH_throughput": ("top_concurrency_qps", "higher"),
     "BENCH_fragmentation": ("selective_bytes_ratio", "higher"),
     "BENCH_placement": ("adaptive_vs_static_qps_ratio", "higher"),
+    "BENCH_writes": ("incremental_vs_rebuild_speedup", "higher"),
 }
 
 #: Rolling per-bench history: how many ``{sha, date, headline}`` points a
@@ -74,20 +75,29 @@ def normalize(name: str, payload: dict) -> dict:
 def extend_history(baseline, fresh: dict, cap: int = HISTORY_CAP) -> dict:
     """Carry the baseline's rolling history forward onto ``fresh``.
 
-    Each gated bench accumulates one ``{sha, date, headline}`` point per
-    recorded run (deduplicated by SHA — re-running on the same commit
-    replaces the point), capped to the most recent ``cap`` entries.  The
-    gate itself still compares only the latest baseline headline; the
-    history is the CI-tracked trajectory.
+    Each gated bench accumulates one ``{sha, date, quick, headline}``
+    point per recorded run (deduplicated by ``(sha, quick)`` — re-running
+    the same mode on the same commit replaces the point, but a quick run
+    never clobbers the full-run point for that commit, or vice versa),
+    capped to the most recent ``cap`` entries.  The gate itself still
+    compares only the latest baseline headline; the history is the
+    CI-tracked trajectory.
     """
     history = list((baseline or {}).get("history", ()))
     if fresh.get("headline"):
         point = {
             "sha": fresh.get("git_sha", "unknown"),
             "date": fresh.get("date", "unknown"),
+            "quick": fresh.get("quick"),
             "headline": fresh["headline"]["value"],
         }
-        history = [p for p in history if p.get("sha") != point["sha"]]
+        history = [
+            p for p in history
+            if not (
+                p.get("sha") == point["sha"]
+                and p.get("quick") == point["quick"]
+            )
+        ]
         history.append(point)
     fresh["history"] = history[-cap:]
     return fresh

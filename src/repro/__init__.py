@@ -41,6 +41,12 @@ Underneath, the package implements, from scratch:
   per-peer compute queues, replica-aware admission, and seeded open- /
   closed-loop load generation (``session.submit()`` / ``drain()`` /
   ``serve()``);
+* :mod:`repro.writes` — the mutable-document write path: node-targeted
+  inserts/updates/deletes routed to the owning fragment through the
+  catalog, primary-copy replica coherence with charged delta shipping,
+  and per-document epochs that invalidate exactly the cached plans,
+  cost memos, and statistics the write touched
+  (``session.insert()`` / ``update()`` / ``delete()``);
 * :mod:`repro.placement` — adaptive placement: telemetry-driven
   rebalancing (replica lifecycle, fragment migration and re-splits as
   atomic catalog transactions) and peer-churn survival (catalog
@@ -69,4 +75,5 @@ __all__ = [
     "workloads",
     "engine",
     "placement",
+    "writes",
 ]

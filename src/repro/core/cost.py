@@ -26,7 +26,7 @@ from ..peers.service import DeclarativeService
 from ..peers.system import AXMLSystem
 from ..xmlcore.model import tree_size
 from .evaluator import ExpressionEvaluator
-from .planspace import PlanCache
+from .planspace import PlanCache, doc_epoch_signature
 from .expressions import (
     ANY,
     DocDest,
@@ -165,6 +165,9 @@ class CostEstimator:
         # cache entries honest if they changed (count_bytes/count_time
         # need no salt — raw deltas are masked only at the very end)
         self._memo_salt = self.statistics.memo_token()
+        epoch_sig = doc_epoch_signature(self.system, plan.expr)
+        if epoch_sig:
+            self._memo_salt = self._memo_salt + (epoch_sig,)
         self._visit(plan.expr, plan.site)
         return Cost(
             self._bytes if self.count_bytes else 0,
@@ -194,8 +197,13 @@ class CostEstimator:
 
     # -- sizes ------------------------------------------------------------------
     def _doc_bytes(self, name: str, home: str) -> int:
+        # written documents key by epoch too, so a mutation orphans the
+        # stale size instead of serving it; epoch-0 keys keep the
+        # historical (name, home) shape
+        epoch = self.system.doc_epoch(name)
+        key = (name, home) if not epoch else (name, home, epoch)
         if self.cache is not None:
-            cached = self.cache.doc_sizes.get((name, home))
+            cached = self.cache.doc_sizes.get(key)
             if cached is not None:
                 return cached
         peer = self.system.peer(home)
@@ -204,7 +212,7 @@ class CostEstimator:
         else:
             size = 1024  # unknown (e.g. temp doc created mid-plan): nominal
         if self.cache is not None:
-            self.cache.doc_sizes[(name, home)] = size
+            self.cache.doc_sizes[key] = size
         return size
 
     def _plan_estimate(self, head: QueryRef, input_bytes: int) -> Optional[int]:

@@ -32,13 +32,19 @@ import sys
 from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from .expressions import DocExpr, FragmentedDoc, GenericDoc, walk
 from .rules import Plan, Rewrite
 from .serialize import expression_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .cost import Cost
 
-__all__ = ["plan_fingerprint", "CacheStats", "PlanCache"]
+__all__ = [
+    "plan_fingerprint",
+    "doc_epoch_signature",
+    "CacheStats",
+    "PlanCache",
+]
 
 #: Sentinel cached for plans the cost function cannot evaluate, so a
 #: failing candidate is not re-measured on every re-reach.
@@ -54,6 +60,31 @@ def plan_fingerprint(plan: Plan) -> str:
     *same* key object and dict lookups degrade to pointer comparisons.
     """
     return sys.intern(f"{plan.site}|{expression_fingerprint(plan.expr)}")
+
+
+def doc_epoch_signature(system, expr) -> str:
+    """Epoch salt for the documents an expression reads, ``""`` if none.
+
+    Document-reference expressions (:class:`DocExpr`, :class:`GenericDoc`,
+    :class:`FragmentedDoc`) fingerprint by *name* only, so a mutation
+    (see :mod:`repro.writes`) would be invisible to :func:`plan_fingerprint`.
+    This signature makes it visible: every referenced name with a
+    non-zero epoch contributes ``name:epoch``, sorted and joined.  While
+    nothing has ever been written (``system.doc_epochs`` empty) the
+    signature is ``""`` — callers skip the salt entirely and every key
+    stays byte-identical to the read-only regime.  Tree literals need no
+    salting: their content fingerprint already changes under mutation.
+    """
+    epochs = getattr(system, "doc_epochs", None)
+    if not epochs:
+        return ""
+    touched = set()
+    for node in walk(expr):
+        if isinstance(node, (DocExpr, GenericDoc, FragmentedDoc)):
+            epoch = epochs.get(node.name)
+            if epoch:
+                touched.add(f"{node.name}:{epoch}")
+    return ",".join(sorted(touched))
 
 
 @dataclass
@@ -127,8 +158,10 @@ class PlanCache:
         #: (value size, bytes, msgs, time); the token keeps estimators
         #: with different Statistics from replaying each other's deltas
         self.subtree_costs: Dict[Tuple, Tuple[int, int, int, float]] = {}
-        #: (document name, home peer) -> serialized bytes
-        self.doc_sizes: Dict[Tuple[str, str], int] = {}
+        #: (document name, home peer) -> serialized bytes; written
+        #: documents gain an epoch component (name, home, epoch) so a
+        #: mutation orphans the stale size instead of serving it
+        self.doc_sizes: Dict[Tuple, int] = {}
         #: query source -> compiled logical plan (or None when uncompilable)
         self.compiled_queries: Dict[str, object] = {}
 

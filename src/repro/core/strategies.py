@@ -22,6 +22,7 @@ their own search without touching this module.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -38,7 +39,12 @@ from typing import (
 from ..errors import FragmentUnavailableError, OptimizerError, PeerDownError
 from ..peers.system import AXMLSystem
 from .cost import Cost, measure
-from .planspace import CacheStats, PlanCache, plan_fingerprint
+from .planspace import (
+    CacheStats,
+    PlanCache,
+    doc_epoch_signature,
+    plan_fingerprint,
+)
 from .rules import DEFAULT_RULES, Plan, Rewrite, RewriteRule
 
 __all__ = [
@@ -143,8 +149,18 @@ class SearchSpace:
         return self.cache is not None
 
     def plan_key(self, plan: Plan) -> str:
-        """Canonical interned fingerprint (see :func:`plan_fingerprint`)."""
-        return plan_fingerprint(plan)
+        """Canonical interned fingerprint (see :func:`plan_fingerprint`).
+
+        When any document the plan reads has been written
+        (:mod:`repro.writes`), the doc-epoch signature is folded in, so
+        memo entries recorded before the mutation simply stop matching —
+        entries for untouched documents keep their exact keys.
+        """
+        key = plan_fingerprint(plan)
+        signature = doc_epoch_signature(self.system, plan.expr)
+        if signature:
+            key = sys.intern(f"{key}|{signature}")
+        return key
 
     def note_dedup(self) -> None:
         """A strategy skipped a candidate already processed this search."""

@@ -50,6 +50,18 @@ class JobRequest:
     name: Optional[str] = None
     arrival: float = 0.0
     optimize: bool = True
+    #: Optional write operation (:mod:`repro.writes`).  When set, the
+    #: job is a *write job*: ``source``/``at``/``bind`` are ignored and
+    #: the scheduler routes the op through
+    #: :class:`~repro.writes.DocumentWriter` against the serving system.
+    write: Optional[object] = None
+
+    @classmethod
+    def for_write(
+        cls, op, arrival: float = 0.0, name: Optional[str] = None
+    ) -> "JobRequest":
+        """A request carrying a write op instead of a query."""
+        return cls(source="", at="", name=name, arrival=arrival, write=op)
 
 
 @dataclass
@@ -74,6 +86,9 @@ class QueryJob:
     peers: Tuple[str, ...] = ()
     report: Optional["ExecutionReport"] = None
     error: Optional[BaseException] = None
+    #: Outcome of a write job (:class:`~repro.writes.WriteResult`);
+    #: ``report`` stays ``None`` for writes.
+    write_result: Optional[object] = None
 
     @property
     def name(self) -> str:

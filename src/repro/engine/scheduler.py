@@ -170,6 +170,17 @@ class Scheduler:
             raise SessionError(
                 f"job arrival must be non-negative, got {request.arrival!r}"
             )
+        if request.write is not None and self.session.isolate:
+            # a write admitted against an isolated clone would mutate a Σ
+            # the session never plans against: subsequent read jobs would
+            # be planned (and pruned) from stale catalog state.  Writes
+            # in the serving mix require a session opened with
+            # ``isolate=False`` so planning and serving share one system.
+            raise SessionError(
+                "write jobs need a non-isolated session "
+                "(connect(..., isolate=False)): the serving system must be "
+                "the one the optimizer plans against"
+            )
         job = QueryJob(
             job_id=len(self.jobs), request=request, arrival=request.arrival
         )
@@ -284,6 +295,9 @@ class Scheduler:
         job.status = RUNNING
         job.admitted_at = now
         request = job.request
+        if request.write is not None:
+            self._admit_write(job, now, target)
+            return
         self._current_job = job
         try:
             report = self.session.plan_job(request)
@@ -310,6 +324,36 @@ class Scheduler:
         report.executed = True
         report.completed_at = outcome.completed_at
         job.report = report
+        self._push(job.finished_at, _COMPLETION, job)
+
+    def _admit_write(self, job: QueryJob, now: float, target: AXMLSystem) -> None:
+        """Apply a write job's op against the serving Σ.
+
+        The write runs through :class:`~repro.writes.DocumentWriter`:
+        primary-copy application, coherence deltas charged on the shared
+        virtual clock (so they contend with query traffic), catalog stats
+        refresh, and epoch bumps.  No plan-cache clear — the epoch salt
+        in the memo keys retires exactly the stale entries, so reads over
+        *other* documents keep planning from a warm cache mid-stream.
+        """
+        from ..writes import DocumentWriter
+
+        request = job.request
+        job.started_at = now
+        try:
+            result = DocumentWriter(target).apply(request.write, now=now)
+        except ReproError as exc:
+            job.status = FAILED
+            job.error = exc
+            job.finished_at = now
+            self._push(now, _COMPLETION, job)
+            return
+        job.write_result = result
+        job.peers = tuple(dict.fromkeys((result.primary,) + result.replicas))
+        for peer_id in job.peers:
+            target.peer(peer_id).enqueue_job()
+        job.status = DONE
+        job.finished_at = max(now, result.settled_at)
         self._push(job.finished_at, _COMPLETION, job)
 
     def _charge_pick(self, peer_id: str) -> None:

@@ -190,6 +190,17 @@ class FragmentUnavailableError(FragmentationError):
         )
 
 
+class WriteError(ReproError):
+    """Raised for invalid write operations (:mod:`repro.writes`).
+
+    Examples: an ordinal outside the document's item range, an update
+    addressing a non-element child, or an operation of an unknown kind.
+    Routing failures keep their own types: a write whose every target
+    copy is dead raises :class:`FragmentUnavailableError` (fragmented) or
+    :class:`PeerDownError` (whole documents), never a bare ``KeyError``.
+    """
+
+
 class DifferentialMismatchError(WorkloadError):
     """Two optimizer strategies disagreed on a generated query's answer.
 

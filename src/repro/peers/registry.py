@@ -238,6 +238,18 @@ class GenericRegistry:
         if member not in members:
             members.append(member)
 
+    def document_classes(self, name: str, peer: str) -> List[str]:
+        """Generic classes containing the concrete member ``name@peer``.
+
+        The write path (:mod:`repro.writes`) uses this to find every
+        mirror a mutated document must stay coherent with.
+        """
+        return sorted(
+            generic
+            for generic, members in self._documents.items()
+            if any(m.name == name and m.peer == peer for m in members)
+        )
+
     def unregister_document(self, generic_name: str, name: str, peer: str) -> None:
         members = self._documents.get(generic_name, [])
         members[:] = [m for m in members if not (m.name == name and m.peer == peer)]

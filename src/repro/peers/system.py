@@ -46,6 +46,13 @@ class AXMLSystem:
         #: Virtual time at which the whole system became quiescent after
         #: the last evaluation (set by the expression evaluator).
         self.clock = 0.0
+        #: Per-document mutation epochs (see :mod:`repro.writes`).  Only
+        #: names that have actually been written appear here; a missing
+        #: entry means epoch 0, i.e. the document is exactly as installed.
+        #: Cache keys downstream (:func:`repro.core.planspace.doc_epoch_signature`)
+        #: fold non-zero epochs in, so a write invalidates precisely the
+        #: memo entries that mention the mutated names.
+        self.doc_epochs: Dict[str, int] = {}
 
     # -- construction ----------------------------------------------------------
     @classmethod
@@ -85,6 +92,22 @@ class AXMLSystem:
         entry in :attr:`peers` for accounting but are excluded here.
         """
         return sorted(pid for pid, peer in self.peers.items() if peer.alive)
+
+    # -- document epochs -----------------------------------------------------------
+    def doc_epoch(self, name: str) -> int:
+        """Mutation epoch of a document-like name (0 = never written)."""
+        return self.doc_epochs.get(name, 0)
+
+    def bump_doc_epoch(self, name: str) -> int:
+        """Advance a name's epoch after a mutation; returns the new epoch.
+
+        Callers (:class:`repro.writes.DocumentWriter`) bump every name a
+        write made observable through: the logical document, the owning
+        fragment, whole-document mirrors, and generic classes.
+        """
+        epoch = self.doc_epochs.get(name, 0) + 1
+        self.doc_epochs[name] = epoch
+        return epoch
 
     # -- state Σ -------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
@@ -142,6 +165,7 @@ class AXMLSystem:
         # the catalog copy is independent, so registering/dropping on one
         # side never shows through to the other.
         twin.fragments = self.fragments.copy()
+        twin.doc_epochs = dict(self.doc_epochs)
         return twin
 
     # -- reporting -----------------------------------------------------------------

@@ -468,6 +468,50 @@ class Session:
                 )
         return reports
 
+    # -- writes --------------------------------------------------------------------
+    def write(self, op, now: float = 0.0):
+        """Apply one node-targeted mutation to the live Σ; returns a
+        :class:`~repro.writes.WriteResult`.
+
+        The op (:class:`~repro.writes.InsertOp` /
+        :class:`~repro.writes.UpdateOp` / :class:`~repro.writes.DeleteOp`)
+        is routed to the owning fragment via the catalog's ordinal
+        ranges, lands on the primary copy, and propagates to replicas
+        and mirrors as charged ships on the virtual clock.  Unlike
+        :meth:`query` under ``isolate=True``, a write always mutates
+        ``self.system`` — that is the point.
+
+        The plan cache is deliberately *not* cleared: the write bumps
+        the touched documents' epochs, and epoch-salted cache keys
+        (:func:`repro.core.planspace.doc_epoch_signature`) orphan
+        exactly the stale entries while every other document's memos
+        keep serving hits.  Only the equivalence-verifier cache, which
+        is keyed on plan pairs alone, is dropped wholesale.
+        """
+        from .writes import DocumentWriter
+
+        result = DocumentWriter(self.system).apply(op, now=now)
+        self._verify_cache.clear()
+        return result
+
+    def insert(self, doc: str, item, ordinal: Optional[int] = None, now: float = 0.0):
+        """Insert ``item`` as child ``ordinal`` of ``doc`` (None appends)."""
+        from .writes import InsertOp
+
+        return self.write(InsertOp(doc, item, ordinal), now=now)
+
+    def update(self, doc: str, ordinal: int, tag: str, value: str, now: float = 0.0):
+        """Set item ``ordinal``'s ``<tag>`` child of ``doc`` to ``value``."""
+        from .writes import UpdateOp
+
+        return self.write(UpdateOp(doc, ordinal, tag, value), now=now)
+
+    def delete(self, doc: str, ordinal: int, now: float = 0.0):
+        """Remove item ``ordinal`` from ``doc``."""
+        from .writes import DeleteOp
+
+        return self.write(DeleteOp(doc, ordinal), now=now)
+
     # -- concurrent serving --------------------------------------------------------
     def engine(self, seed: int = 0, admission="queue-depth", actor=None):
         """The session's open serving engine, created on first use.
@@ -522,6 +566,20 @@ class Session:
                 optimize=optimize,
             )
         return self.engine().submit(request)
+
+    def submit_write(self, op, arrival: float = 0.0, name: Optional[str] = None):
+        """Admit one write op to the serving engine; returns its pending job.
+
+        The write interleaves with queries on the shared virtual clock —
+        its coherence deltas contend for the same FIFO links.  Requires
+        a non-isolated session (``connect(..., isolate=False)``) so the
+        serving Σ is the one the optimizer plans against.
+        """
+        from .engine.jobs import JobRequest
+
+        return self.engine().submit(
+            JobRequest.for_write(op, arrival=arrival, name=name)
+        )
 
     def drain(self, feed=None):
         """Run every submitted job to quiescence; returns the fleet report.

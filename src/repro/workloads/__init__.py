@@ -26,9 +26,11 @@ from .generator import (
     FRAGMENTED_SPEC,
     QUERY_SHAPES,
     TOPOLOGIES,
+    WRITE_MIX_SPEC,
     GeneratedDocument,
     GeneratedQuery,
     GeneratedService,
+    GeneratedWrite,
     Scenario,
     ScenarioGenerator,
     ScenarioSpec,
@@ -43,6 +45,8 @@ from .harness import (
     QueryDifferential,
     ScenarioReport,
     StrategyOutcome,
+    WriteCheckResult,
+    WriteSweepReport,
 )
 
 __all__ = [
@@ -52,9 +56,11 @@ __all__ = [
     "GeneratedDocument",
     "GeneratedService",
     "GeneratedQuery",
+    "GeneratedWrite",
     "TOPOLOGIES",
     "QUERY_SHAPES",
     "FRAGMENTED_SPEC",
+    "WRITE_MIX_SPEC",
     "DifferentialHarness",
     "HarnessReport",
     "ScenarioReport",
@@ -63,5 +69,7 @@ __all__ = [
     "Mismatch",
     "FragmentedQueryResult",
     "FragmentedSweepReport",
+    "WriteCheckResult",
+    "WriteSweepReport",
     "DEFAULT_STRATEGIES",
 ]

@@ -42,11 +42,13 @@ __all__ = [
     "GeneratedDocument",
     "GeneratedService",
     "GeneratedQuery",
+    "GeneratedWrite",
     "Scenario",
     "ScenarioGenerator",
     "TOPOLOGIES",
     "QUERY_SHAPES",
     "FRAGMENTED_SPEC",
+    "WRITE_MIX_SPEC",
 ]
 
 #: Topology names the generator draws from (`"any"` rotates over them).
@@ -100,6 +102,11 @@ class ScenarioSpec:
     #: draw; the knob never feeds the generation RNG, so scenarios
     #: themselves are byte-identical whatever its value.
     zipf_skew: float = 0.0
+    #: Number of seeded write operations (:mod:`repro.writes`) to draw
+    #: over the passive documents — the read/write-mix family.  Only
+    #: drawn from the rng when > 0, so existing seeds reproduce
+    #: byte-identically.
+    writes: int = 0
 
     def validate(self) -> None:
         if self.peers < 1:
@@ -112,6 +119,7 @@ class ScenarioSpec:
         for count_field in (
             "documents", "axml_documents", "services", "replicas",
             "payload_words", "value_range", "fragments", "fragment_replicas",
+            "writes",
         ):
             if getattr(self, count_field) < 0:
                 raise WorkloadError(f"{count_field} cannot be negative")
@@ -204,6 +212,48 @@ class GeneratedQuery:
         }
 
 
+@dataclass(frozen=True)
+class GeneratedWrite:
+    """One seeded write op of the read/write-mix scenario family.
+
+    Stored in provenance form (the inserted item as serialized XML) so
+    :meth:`Scenario.serialize` stays pure text; :meth:`op` materializes
+    the actual :mod:`repro.writes` operation on demand.
+    """
+
+    name: str
+    doc: str
+    #: ``"insert"`` / ``"update"`` / ``"delete"``.
+    kind: str
+    ordinal: int
+    #: Field tag/value for updates.
+    tag: Optional[str] = None
+    value: Optional[str] = None
+    #: Serialized item subtree for inserts.
+    item_xml: Optional[str] = None
+
+    def op(self):
+        """The concrete write op this record describes."""
+        from ..writes import DeleteOp, InsertOp, UpdateOp
+        from ..xmlcore import parse
+
+        if self.kind == "insert":
+            return InsertOp(self.doc, parse(self.item_xml), self.ordinal)
+        if self.kind == "update":
+            return UpdateOp(self.doc, self.ordinal, self.tag, self.value)
+        if self.kind == "delete":
+            return DeleteOp(self.doc, self.ordinal)
+        raise WorkloadError(f"unknown write kind {self.kind!r}")
+
+    def describe(self) -> str:
+        detail = ""
+        if self.kind == "update":
+            detail = f" {self.tag}={self.value}"
+        elif self.kind == "insert":
+            detail = f" {self.item_xml}"
+        return f"{self.name} {self.kind} {self.doc}[{self.ordinal}]{detail}"
+
+
 @dataclass
 class Scenario:
     """A ready system plus its query workload and generation provenance."""
@@ -216,6 +266,9 @@ class Scenario:
     documents: List[GeneratedDocument]
     services: List[GeneratedService]
     queries: List[GeneratedQuery]
+    #: Seeded write sequence (empty unless ``spec.writes > 0``); applied
+    #: in order by the harness's write sweep.
+    writes: List[GeneratedWrite] = field(default_factory=list)
 
     def query(self, name: str) -> GeneratedQuery:
         for query in self.queries:
@@ -272,6 +325,10 @@ class Scenario:
             binds = " ".join(f"{param}={target}" for param, target in query.bind)
             lines.append(f"query {query.name} shape={query.shape} at={query.at} {binds}")
             lines.append(f"  {query.source}")
+        # write lines only appear for write-mix scenarios, so every
+        # pre-existing spec serializes byte-identically
+        for write in self.writes:
+            lines.append(f"write {write.describe()}")
         return "\n".join(lines) + "\n"
 
     def describe(self) -> str:
@@ -326,6 +383,7 @@ class ScenarioGenerator:
         documents = self._install_documents(rng, spec, system, peer_ids, services)
         documents = self._fragment(rng, spec, system, peer_ids, documents)
         queries = self._generate_queries(rng, spec, documents, peer_ids)
+        writes = self._generate_writes(rng, spec, system, documents)
         return Scenario(
             seed=self.seed,
             index=index,
@@ -335,6 +393,7 @@ class ScenarioGenerator:
             documents=documents,
             services=services,
             queries=queries,
+            writes=writes,
         )
 
     # -- network -----------------------------------------------------------------
@@ -593,6 +652,97 @@ class ScenarioGenerator:
             )
         return queries
 
+    # -- writes ------------------------------------------------------------------
+    def _generate_writes(
+        self,
+        rng: Random,
+        spec: ScenarioSpec,
+        system: AXMLSystem,
+        documents: List[GeneratedDocument],
+    ) -> List[GeneratedWrite]:
+        """Seeded write sequence over the passive documents.
+
+        Only drawn from the rng when ``spec.writes > 0``, so existing
+        seeds reproduce byte-identically.  Ordinals are drawn against the
+        running item count (earlier writes in the sequence shift later
+        ones), and deletes never shrink a document below its fragment
+        count — the rebuild-from-scratch baseline re-fragments with the
+        original layout, which needs at least one item per target peer.
+        Update values range up to twice ``value_range`` so refreshed
+        ``(min, max)`` stats genuinely move (exercising prune soundness).
+        """
+        if spec.writes == 0:
+            return []
+        candidates = [doc for doc in documents if not doc.active]
+        if not candidates:
+            return []
+        counts = {
+            doc.name: len(system.peer(doc.peer).documents[doc.name].children)
+            for doc in candidates
+        }
+        floors = {
+            doc.name: (
+                len(system.fragments.fragments(doc.name))
+                if system.fragments.is_fragmented(doc.name)
+                else 1
+            )
+            for doc in candidates
+        }
+        vocab = {doc.name: doc for doc in candidates}
+        writes: List[GeneratedWrite] = []
+        for k in range(spec.writes):
+            doc = vocab[rng.choice(sorted(counts))]
+            count = counts[doc.name]
+            roll = rng.random()
+            if roll < 0.4:
+                kind = "insert"
+            elif roll < 0.8:
+                kind = "update"
+            else:
+                kind = "delete"
+            if kind == "delete" and count - 1 < floors[doc.name]:
+                kind = "update"
+            if kind == "insert":
+                ordinal = rng.randint(0, count)
+                value = rng.randint(0, spec.value_range * 2)
+                item = element(
+                    doc.item_tag,
+                    element(doc.name_tag, f"{doc.item_tag}-w{k}"),
+                    element(doc.num_tag, str(value)),
+                )
+                writes.append(
+                    GeneratedWrite(
+                        name=f"w{k}",
+                        doc=doc.name,
+                        kind=kind,
+                        ordinal=ordinal,
+                        item_xml=serialize(item),
+                    )
+                )
+                counts[doc.name] += 1
+            elif kind == "update":
+                ordinal = rng.randint(0, count - 1)
+                value = rng.randint(0, spec.value_range * 2)
+                writes.append(
+                    GeneratedWrite(
+                        name=f"w{k}",
+                        doc=doc.name,
+                        kind=kind,
+                        ordinal=ordinal,
+                        tag=doc.num_tag,
+                        value=str(value),
+                    )
+                )
+            else:
+                ordinal = rng.randint(0, count - 1)
+                writes.append(
+                    GeneratedWrite(
+                        name=f"w{k}", doc=doc.name, kind=kind, ordinal=ordinal
+                    )
+                )
+                counts[doc.name] -= 1
+        return writes
+
     def _target(self, rng: Random, doc: GeneratedDocument) -> str:
         """Concrete ``name@peer`` binding, or generic/fragmented views."""
         if doc.fragmented:
@@ -619,4 +769,24 @@ FRAGMENTED_SPEC = ScenarioSpec(
     queries=6,
     fragments=2,
     fragment_replicas=1,
+)
+
+#: The read/write-mix scenario family: fragmented + replicated documents
+#: plus a generic-replicated one, with a seeded write sequence woven
+#: through.  :meth:`~repro.workloads.harness.DifferentialHarness.check_writes`
+#: asserts that applying the writes incrementally
+#: (:meth:`Session.write <repro.session.Session.write>`) then querying is
+#: byte-identical, under every strategy, to rebuilding each written
+#: document from scratch and re-distributing it.
+WRITE_MIX_SPEC = ScenarioSpec(
+    peers=5,
+    documents=3,
+    axml_documents=1,
+    items=14,
+    services=1,
+    replicas=1,
+    queries=6,
+    fragments=1,
+    fragment_replicas=1,
+    writes=6,
 )

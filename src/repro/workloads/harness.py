@@ -44,6 +44,8 @@ __all__ = [
     "Mismatch",
     "FragmentedQueryResult",
     "FragmentedSweepReport",
+    "WriteCheckResult",
+    "WriteSweepReport",
     "DifferentialHarness",
     "DEFAULT_STRATEGIES",
 ]
@@ -362,6 +364,75 @@ class FragmentedSweepReport:
         return "\n".join(lines)
 
 
+@dataclass
+class WriteCheckResult:
+    """One query over incrementally-written state vs the rebuilt baseline.
+
+    ``baseline_answers`` are the serialized answers after *rebuilding
+    from scratch*: the scenario's write sequence applied to each written
+    document's whole tree, then all distributed state (fragments,
+    mirrors, catalog entries) dropped and re-derived from the rebuilt
+    tree.  ``answers`` maps each strategy to its answers after applying
+    the same writes *incrementally* through
+    :meth:`Session.write <repro.session.Session.write>`.  The contract
+    is byte equality: incremental maintenance must be invisible.
+    """
+
+    query: GeneratedQuery
+    baseline_answers: Tuple[str, ...]
+    answers: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(
+            candidate == self.baseline_answers
+            for candidate in self.answers.values()
+        )
+
+    @property
+    def disagreeing(self) -> List[str]:
+        return sorted(
+            name for name, candidate in self.answers.items()
+            if candidate != self.baseline_answers
+        )
+
+
+@dataclass
+class WriteSweepReport:
+    """Aggregate byte-equality verdict over a read/write-mix sweep."""
+
+    scenarios: int = 0
+    writes_applied: int = 0
+    results: List[WriteCheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def queries_checked(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> List[WriteCheckResult]:
+        return [result for result in self.results if not result.ok]
+
+    def describe(self) -> str:
+        verdict = "ok" if self.ok else f"{len(self.failures)} FAILURES"
+        lines = [
+            f"write sweep: {self.scenarios} scenarios, "
+            f"{self.writes_applied} writes applied, "
+            f"{self.queries_checked} queries -> {verdict}"
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  query {failure.query.name!r} ({failure.query.shape}): "
+                f"{', '.join(failure.disagreeing)} diverged from the "
+                "rebuild-from-scratch baseline"
+            )
+        return "\n".join(lines)
+
+
 class DifferentialHarness:
     """Run queries under every strategy and assert they agree.
 
@@ -575,6 +646,131 @@ class DifferentialHarness:
                         f"(strategies: {', '.join(result.disagreeing)})"
                     )
         return report
+
+    # -- write sweeps ----------------------------------------------------------------
+    def check_writes_scenario(self, scenario: Scenario) -> List[WriteCheckResult]:
+        """Byte-compare incremental writes against rebuild-from-scratch.
+
+        The *incremental* side clones the pristine scenario system once
+        per strategy, applies the write sequence through
+        :meth:`Session.write <repro.session.Session.write>` (primary-copy
+        routing, replica deltas, catalog stats refresh, epoch-keyed
+        cache invalidation — the whole production path), then runs every
+        scenario query.  The *baseline* side rebuilds each written
+        document's whole tree with :func:`repro.writes.apply_to_tree`,
+        drops all derived distributed state and re-fragments /
+        re-mirrors from scratch, then runs the queries under the
+        reference strategy.  Both sides must serialize byte-identically
+        on every query — the two can only differ through distribution
+        machinery, which is exactly what the check targets.
+        """
+        rebuilt = self._rebuild_after_writes(scenario)
+        reference = self.strategies[0]
+        baseline_session = Session(
+            rebuilt,
+            strategy=reference,
+            strategy_options=self.strategy_options.get(reference),
+            pick_policy=self.pick_policy,
+        )
+        results = {}
+        for query in scenario.queries:
+            baseline = baseline_session.query(**query.kwargs())
+            results[query.name] = WriteCheckResult(
+                query=query, baseline_answers=tuple(baseline.answers)
+            )
+        for strategy in self.strategies:
+            written = scenario.system.clone()
+            session = Session(
+                written,
+                strategy=strategy,
+                strategy_options=self.strategy_options.get(strategy),
+                pick_policy=self.pick_policy,
+            )
+            for record in scenario.writes:
+                session.write(record.op())
+            for query in scenario.queries:
+                report = session.query(**query.kwargs())
+                results[query.name].answers[strategy] = tuple(report.answers)
+        return [results[query.name] for query in scenario.queries]
+
+    def check_writes(
+        self,
+        scenarios: Iterable[Scenario],
+        raise_on_mismatch: bool = False,
+    ) -> WriteSweepReport:
+        """Sweep scenarios, byte-checking write-then-query vs rebuild.
+
+        Scenarios without writes (``spec.writes=0``) contribute nothing.
+        """
+        report = WriteSweepReport()
+        for scenario in scenarios:
+            if not scenario.writes:
+                continue
+            report.scenarios += 1
+            report.writes_applied += len(scenario.writes)
+            for result in self.check_writes_scenario(scenario):
+                report.results.append(result)
+                if raise_on_mismatch and not result.ok:
+                    raise DifferentialMismatchError(
+                        f"write-then-query diverged from rebuild on query "
+                        f"{result.query.name!r} of scenario "
+                        f"seed={scenario.seed} index={scenario.index} "
+                        f"(strategies: {', '.join(result.disagreeing)})"
+                    )
+        return report
+
+    def _rebuild_after_writes(self, scenario: Scenario):
+        """The from-scratch baseline system for a write-mix scenario.
+
+        Clones the pristine system, applies every write to each written
+        document's whole tree at its home, then re-derives all
+        distributed state from that tree: fragments are dropped and
+        re-fragmented over the same peers with the same replica count,
+        and whole-document mirrors are re-installed from fresh copies.
+        """
+        from ..dist.fragmenter import Fragmenter
+        from ..writes import apply_to_tree
+
+        system = scenario.system.clone()
+        homes = {doc.name: doc.peer for doc in scenario.documents}
+        generics = {doc.name: doc.generic for doc in scenario.documents}
+        written: List[str] = []
+        for record in scenario.writes:
+            if record.doc not in written:
+                written.append(record.doc)
+        for name in written:
+            home = homes[name]
+            tree = system.peer(home).documents[name]
+            for record in scenario.writes:
+                if record.doc == name:
+                    apply_to_tree(tree, record.op())
+            system.peer(home).allocator.assign(tree)
+            if system.fragments.is_fragmented(name):
+                fragments = system.fragments.fragments(name)
+                across = [fragment.home for fragment in fragments]
+                replicas = len(fragments[0].replicas) if fragments else 0
+                for fragment in fragments:
+                    for pid in fragment.peers:
+                        if system.peer(pid).has_document(fragment.name):
+                            system.peer(pid).drop_document(fragment.name)
+                    if fragment.generic:
+                        for member in list(
+                            system.registry.document_members(fragment.generic)
+                        ):
+                            system.registry.unregister_document(
+                                fragment.generic, member.name, member.peer
+                            )
+                system.fragments.drop(name)
+                Fragmenter(system).fragment(name, home, across, replicas=replicas)
+            generic = generics.get(name)
+            if generic:
+                for member in system.registry.document_members(generic):
+                    if member.name == name and member.peer == home:
+                        continue
+                    system.peer(member.peer).install_document(
+                        member.name, tree.copy_without_ids(), replace=True
+                    )
+        return system
 
     # -- mismatch handling ---------------------------------------------------------
     def _find_disagreement(

@@ -1,0 +1,24 @@
+"""repro.writes — mutable distributed documents.
+
+Node-targeted inserts/updates/deletes addressed by (document, ordinal),
+routed to the owning fragment through the catalog's ordinal ranges and
+applied under primary-copy replica coherence.  See
+:mod:`repro.writes.ops` for the operation shapes and
+:mod:`repro.writes.writer` for the routing/coherence/invalidation
+machinery.  The high-level entry point is
+:meth:`Session.write <repro.session.Session.write>`.
+"""
+
+from .ops import DeleteOp, InsertOp, UpdateOp, WriteOp, WriteResult
+from .writer import DocumentWriter, apply_to_tree, op_kind
+
+__all__ = [
+    "InsertOp",
+    "UpdateOp",
+    "DeleteOp",
+    "WriteOp",
+    "WriteResult",
+    "DocumentWriter",
+    "apply_to_tree",
+    "op_kind",
+]

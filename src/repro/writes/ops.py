@@ -1,0 +1,110 @@
+"""Node-targeted write operations over distributed documents.
+
+The paper's framework assumes documents evolve — service calls
+materialize results into the tree — so the system needs first-class
+mutations, not just reads.  An operation addresses the *logical*
+document by name and an item by its **ordinal**: the position of the
+item in the original root's child list, exactly the coordinate the
+fragment catalog records as ``[lo, hi)`` slices.  That makes routing a
+pure catalog lookup: the fragment whose ordinal range contains the
+target owns the write.
+
+Three shapes cover the workloads:
+
+* :class:`InsertOp` — splice a new item subtree in at an ordinal
+  (``None`` appends after the last item);
+* :class:`UpdateOp` — replace (or add) one scalar child field of the
+  addressed item, e.g. re-price ``item[7]``'s ``<price>``;
+* :class:`DeleteOp` — remove the addressed item.
+
+All three are frozen values: the :class:`~repro.writes.DocumentWriter`
+applies them, it never mutates them.  :class:`WriteResult` reports what
+a write actually did — which fragment owned it, which peer was the
+primary, where replica deltas shipped, when the last copy settled on
+the virtual clock, and every name whose epoch was bumped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..xmlcore.model import Element
+
+__all__ = ["InsertOp", "UpdateOp", "DeleteOp", "WriteOp", "WriteResult"]
+
+
+@dataclass(frozen=True)
+class InsertOp:
+    """Insert ``item`` so it becomes child ``ordinal`` of the root.
+
+    ``ordinal=None`` appends after the current last item.  The item tree
+    is copied (ids cleared) into every target copy, so the caller's
+    instance is never aliased into Σ.
+    """
+
+    doc: str
+    item: Element
+    ordinal: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """Set the addressed item's ``<tag>`` child to a new text ``value``.
+
+    The first child element named ``tag`` is replaced with a fresh
+    ``<tag>value</tag>``; when the item has no such child, one is
+    appended — an upsert, matching how service results materialize
+    fields into items.
+    """
+
+    doc: str
+    ordinal: int
+    tag: str
+    value: str
+
+
+@dataclass(frozen=True)
+class DeleteOp:
+    """Remove the item at ``ordinal`` from the document."""
+
+    doc: str
+    ordinal: int
+
+
+WriteOp = Union[InsertOp, UpdateOp, DeleteOp]
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """What one applied write did, for reports and tests."""
+
+    #: Logical document the operation addressed.
+    doc: str
+    #: ``"insert"`` / ``"update"`` / ``"delete"``.
+    kind: str
+    #: Absolute ordinal acted on (appends are resolved to a number).
+    ordinal: int
+    #: Owning fragment name, or ``None`` for an unfragmented document.
+    fragment: Optional[str]
+    #: Peer the write landed on first (catalog home, or the surviving
+    #: copy after failover).
+    primary: str
+    #: Peers a coherence delta shipped to (replicas and mirrors).
+    replicas: Tuple[str, ...]
+    #: Every name whose epoch was bumped (doc, fragment, mirrors,
+    #: generic classes), sorted.
+    touched: Tuple[str, ...]
+    #: Virtual time at which the slowest coherence ship arrived; reads
+    #: from any copy at or after this instant see the write.
+    settled_at: float
+    #: The logical document's epoch after this write.
+    epoch: int
+
+    def describe(self) -> str:
+        where = self.fragment or self.doc
+        reps = f" -> {', '.join(self.replicas)}" if self.replicas else ""
+        return (
+            f"{self.kind} {self.doc}[{self.ordinal}] on {where}@{self.primary}"
+            f"{reps} (settled t={self.settled_at:.6f}, epoch {self.epoch})"
+        )

@@ -299,9 +299,10 @@ class Element(Node):
         clone = Element(self.tag, dict(self.attrs), node_id=self.node_id)
         for child in self.children:
             clone.append(child.copy())
-        # content is identical, so the copy inherits any cached measurements
-        clone._size_cache = self._size_cache
-        clone._fp_cache = self._fp_cache
+        # The clone starts cache-cold: sharing ``_size_cache``/``_fp_cache``
+        # with the original would let a stale measurement (e.g. after a
+        # direct ``Text.value`` assignment that bypassed the mutation
+        # helpers) survive into a tree that never computed it.
         return clone
 
     def copy_without_ids(self) -> "Element":

@@ -119,6 +119,50 @@ class TestFragmentUnavailable:
 
 
 # ---------------------------------------------------------------------------
+# writes under churn: replica failover and typed unavailability
+# ---------------------------------------------------------------------------
+
+
+class TestWritesUnderChurn:
+    def test_write_fails_over_to_surviving_replica(self):
+        # ordinal 5 lives in cat.f1 (home d1); with the home dead the
+        # writer must promote the surviving mirror to primary copy.
+        reference = fragmented_system(replicas=1)
+        connect(reference).update("cat", 5, "price", "9999")
+        expected = query_answers(reference)
+
+        system = fragmented_system(replicas=1)
+        ChurnController(system).kill("d1")
+        result = connect(system).update("cat", 5, "price", "9999")
+        assert result.fragment == "cat.f1"
+        assert result.primary != "d1"
+        assert system.peer(result.primary).alive
+        assert query_answers(system) == expected
+
+    def test_write_to_lost_fragment_raises_typed_error(self):
+        # Regression: a write routed to a fragment with no live copy
+        # must surface the typed FragmentUnavailableError, never a bare
+        # KeyError from the peer table.
+        system = fragmented_system(replicas=0)
+        ChurnController(system).kill("d1")
+        session = connect(system)
+        try:
+            session.update("cat", 5, "price", "9999")
+        except FragmentUnavailableError as exc:
+            assert exc.fragment == "cat.f1"
+            assert "d1" in exc.peers
+        else:
+            raise AssertionError("write against a lost fragment succeeded")
+
+    def test_whole_doc_write_to_dead_host_raises_peer_down(self):
+        system = AXMLSystem.with_peers(["client", "d0"])
+        system.peer("d0").install_document("plain", catalog_doc(4))
+        ChurnController(system).kill("d0")
+        with pytest.raises(PeerDownError):
+            connect(system).update("plain", 1, "price", "7")
+
+
+# ---------------------------------------------------------------------------
 # catalog transactions: byte-identity and atomicity
 # ---------------------------------------------------------------------------
 
@@ -622,9 +666,9 @@ class TestCollectHistory:
         }
         out = collect.extend_history(None, dict(fresh))
         assert out["history"] == [
-            {"sha": "aaa", "date": "d1", "headline": 1.0}
+            {"sha": "aaa", "date": "d1", "quick": None, "headline": 1.0}
         ]
-        # same sha replaces its point instead of duplicating
+        # same (sha, quick) replaces its point instead of duplicating
         out2 = collect.extend_history(out, dict(fresh, date="d2"))
         assert len(out2["history"]) == 1
         assert out2["history"][0]["date"] == "d2"
@@ -636,6 +680,41 @@ class TestCollectHistory:
             )
         assert len(baseline["history"]) == collect.HISTORY_CAP
         assert baseline["history"][-1]["sha"] == "sha29"
+
+    def test_history_keeps_quick_and_full_points_for_one_sha(self):
+        # Regression: dedup used to key on SHA alone, so a quick CI run
+        # on a commit silently clobbered the full-run trajectory point
+        # for that same commit (and vice versa).
+        collect = self.load_collector()
+        quick = {
+            "git_sha": "aaa", "date": "d1", "quick": True,
+            "headline": {"metric": "m", "value": 2.0, "direction": "higher"},
+        }
+        full = {
+            "git_sha": "aaa", "date": "d1", "quick": False,
+            "headline": {"metric": "m", "value": 3.0, "direction": "higher"},
+        }
+        out = collect.extend_history(None, dict(quick))
+        out = collect.extend_history(out, dict(full))
+        assert len(out["history"]) == 2
+        assert {p["quick"] for p in out["history"]} == {True, False}
+        # re-running one mode still replaces only that mode's point
+        out = collect.extend_history(out, dict(quick, date="d2"))
+        assert len(out["history"]) == 2
+        by_mode = {p["quick"]: p for p in out["history"]}
+        assert by_mode[True]["date"] == "d2"
+        assert by_mode[False]["date"] == "d1"
+        # pre-fix points (no "quick" key) are a third mode of their own:
+        # they survive next to both tagged points rather than vanishing
+        legacy = {"sha": "aaa", "date": "d0", "headline": 1.0}
+        out = collect.extend_history({"history": [legacy]}, dict(quick))
+        assert legacy in out["history"]
+
+    def test_headlines_gate_the_writes_bench(self):
+        collect = self.load_collector()
+        assert collect.HEADLINES["BENCH_writes"] == (
+            "incremental_vs_rebuild_speedup", "higher",
+        )
 
     def test_headline_gate_and_placement_entry(self):
         collect = self.load_collector()

@@ -249,14 +249,33 @@ class TestSizeCaching:
         root.element_children[0].set_attr("activated", "true")
         assert root.serialized_size() == before + len("activated") + len("true") + 4
 
-    def test_copy_inherits_cache_and_stays_consistent(self):
+    def test_copy_is_cache_cold_and_stays_consistent(self):
         root = element("a", element("b", "payload"))
         size = root.serialized_size()
         clone = root.copy()
+        assert clone._size_cache is None
         assert clone.serialized_size() == size
         clone.append(text("xyz"))
         assert clone.serialized_size() == size + 3
         assert root.serialized_size() == size  # original untouched
+
+    def test_copy_does_not_inherit_stale_caches(self):
+        # Regression: copy() used to carry the original's _size_cache /
+        # _fp_cache into the clone, so a measurement made stale by a
+        # direct Text.value assignment (which bypasses the mutation
+        # helpers) survived into a tree that never computed it.
+        root = element("a", element("b", "payload"))
+        stale_size = root.serialized_size()
+        stale_fp = root.content_fingerprint()
+        root.element_children[0].children[0].value = (
+            "a far longer replacement payload"
+        )
+        clone = root.copy()
+        truth = element("a", element("b", "a far longer replacement payload"))
+        assert clone.serialized_size() == truth.serialized_size()
+        assert clone.serialized_size() != stale_size
+        assert clone.content_fingerprint() == truth.content_fingerprint()
+        assert clone.content_fingerprint() != stale_fp
 
 
 class TestContentFingerprint:
