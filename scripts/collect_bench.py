@@ -41,6 +41,7 @@ HEADLINES = {
     "BENCH_fragmentation": ("selective_bytes_ratio", "higher"),
     "BENCH_placement": ("adaptive_vs_static_qps_ratio", "higher"),
     "BENCH_writes": ("incremental_vs_rebuild_speedup", "higher"),
+    "BENCH_resilience": ("availability_under_faults", "higher"),
 }
 
 #: Rolling per-bench history: how many ``{sha, date, headline}`` points a

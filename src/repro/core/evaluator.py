@@ -30,19 +30,28 @@ Mapping from the paper's definitions to code paths:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..axml.document import ServiceCall
 from ..errors import (
+    DeadlineExceededError,
     EvaluationUndefinedError,
     ExpressionError,
+    FaultError,
     FragmentUnavailableError,
     GenericResolutionError,
     PeerDownError,
+    ReproError,
     ServiceCallError,
+    ServiceCallFaultError,
+    TransferFaultError,
+    TransferTimeoutError,
     UnknownServiceError,
 )
+from ..faults.plan import SERVICE_HANG
+from ..faults.recovery import LostPart, RetryPolicy
 from ..net.message import Message, MessageKind
 from ..peers.registry import PickPolicy
 from ..peers.service import DeclarativeService, Service
@@ -114,11 +123,101 @@ class ExpressionEvaluator:
         self,
         system: AXMLSystem,
         pick_policy: Optional[PickPolicy] = None,
+        recovery: Optional[RetryPolicy] = None,
     ) -> None:
         self.system = system
         self.pick_policy = pick_policy
+        #: Retry/timeout behavior under injected faults (:mod:`repro.faults`).
+        #: ``None`` (the default) means faults propagate as typed errors on
+        #: first occurrence — the exact historical code path when no fault
+        #: state is installed on the network either.
+        self.recovery = recovery
         self._deploy_counter = 0
         self._install_counter = 0
+        # per-job recovery context (reset by begin_job)
+        self.deadline_at = math.inf
+        self.partial = False
+        self.losses: List[LostPart] = []
+        self.job_retries = 0
+        #: Run-wide recovery counters, folded into ``ServingReport.faults``.
+        self.counters: Dict[str, int] = {}
+
+    # -- recovery context --------------------------------------------------------
+    def begin_job(
+        self, deadline_at: float = math.inf, partial: bool = False
+    ) -> None:
+        """Reset per-job recovery context (deadline, losses, retry count)."""
+        self.deadline_at = deadline_at
+        self.partial = partial
+        self.losses = []
+        self.job_retries = 0
+
+    def _count(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def _record_loss(self, kind: str, name: str, peers, exc: Exception) -> None:
+        self.losses.append(
+            LostPart(
+                kind=kind,
+                name=name,
+                peers=tuple(peers),
+                error=type(exc).__name__,
+                at=getattr(exc, "at", 0.0),
+            )
+        )
+        self._count("parts_lost")
+
+    def _stalled(self, peer_id: str, at: float) -> float:
+        """Push ``at`` past any injected stall window on ``peer_id``."""
+        faults = self.system.network.faults
+        if faults is None:
+            return at
+        ready = faults.stall_until(peer_id, at)
+        if ready > at:
+            self._count("stall_waits")
+        return ready
+
+    def _deliver(self, message: Message, ready_at: float) -> float:
+        """Network delivery with bounded, clock-charged retries.
+
+        Without a recovery policy (or without installed fault state) this
+        is exactly ``network.deliver`` — transfer faults, if any, propagate
+        typed on first occurrence.  With one, each lost/corrupted transfer
+        is retried after a seeded exponential backoff until it succeeds,
+        the attempt budget runs out (:class:`TransferTimeoutError`), or the
+        next attempt would start past the job deadline
+        (:class:`DeadlineExceededError`).
+        """
+        network = self.system.network
+        policy = self.recovery
+        if policy is None or network.faults is None:
+            return network.deliver(message, ready_at)
+        key = f"{message.src}->{message.dst}:{message.kind}"
+        clock = ready_at
+        last: Optional[TransferFaultError] = None
+        for attempt in range(policy.max_attempts):
+            try:
+                return network.deliver(message, clock)
+            except TransferFaultError as exc:
+                last = exc
+                self._count("transfer_faults")
+                if attempt + 1 >= policy.max_attempts:
+                    break
+                retry_at = exc.at + policy.delay(attempt, key)
+                if retry_at > self.deadline_at:
+                    raise DeadlineExceededError(
+                        f"transfer {key} would retry at {retry_at:.6f}, "
+                        f"past the deadline {self.deadline_at:.6f}",
+                        at=exc.at,
+                    ) from exc
+                self.job_retries += 1
+                self._count("retries")
+                clock = retry_at
+        raise TransferTimeoutError(
+            f"transfer {key} failed {policy.max_attempts} attempts "
+            f"(retry budget exhausted)",
+            at=last.at if last is not None else ready_at,
+        ) from last
 
     # -- entry point -------------------------------------------------------------
     def eval(
@@ -222,7 +321,22 @@ class ExpressionEvaluator:
                 ),
                 forwards=call.forwards,
             )
-            sub = self.eval(call_expr, at, ready_at, depth + 1)
+            try:
+                sub = self.eval(call_expr, at, ready_at, depth + 1)
+            except (FaultError, PeerDownError) as exc:
+                if not self.partial:
+                    raise
+                # graceful degradation: the call's results never arrive,
+                # so the sc node simply disappears from the copy (exactly
+                # what an unactivated call looks like) and the loss is
+                # recorded in the PartialAnswer provenance
+                self._record_loss(
+                    "service",
+                    f"{call.service}@{call.provider}",
+                    (call.provider,),
+                    exc,
+                )
+                return None
             outcome.merge_effects(sub)
             outcome.completed_at = max(outcome.completed_at, sub.completed_at)
             if call.forwards:
@@ -260,15 +374,23 @@ class ExpressionEvaluator:
             )
         tree = home.document(expr.name)
         inner = TreeExpr(tree, expr.home)
+        # A partial-mode activation that lost a service call must NOT
+        # become the stored document: the lost sc node is dropped from
+        # the *answer* copy, and committing that copy would silently
+        # erase the call from Σ — every later job would then miss its
+        # data with no partial marker (the exact silent-wrong-answer the
+        # three-way fault invariant forbids).  The loss watermark tells
+        # degraded activations apart from complete ones.
+        losses_before = len(self.losses)
         if at == expr.home:
             outcome = self.eval(inner, at, ready_at, depth + 1)
             # "p2 has replaced this local tree with the result of eval" —
             # the activated version becomes the stored document.
-            if len(outcome.items) == 1:
+            if len(outcome.items) == 1 and len(self.losses) == losses_before:
                 home.install_document(expr.name, outcome.items[0], replace=True)
             return outcome
         home_outcome = self.eval(inner, expr.home, ready_at, depth + 1)
-        if len(home_outcome.items) == 1:
+        if len(home_outcome.items) == 1 and len(self.losses) == losses_before:
             home.install_document(expr.name, home_outcome.items[0], replace=True)
         return self._ship_items(
             home_outcome, expr.home, at, home_outcome.completed_at
@@ -278,9 +400,18 @@ class ExpressionEvaluator:
         self, expr: GenericDoc, at: str, ready_at: float, depth: int
     ) -> EvalOutcome:
         # definition (9): pickDoc, then evaluate the concrete reference.
-        member = self.system.registry.pick_document(
-            expr.name, at, self.system, self.pick_policy
-        )
+        try:
+            member = self.system.registry.pick_document(
+                expr.name, at, self.system, self.pick_policy
+            )
+        except ReproError:
+            raise
+        except Exception as exc:
+            # a buggy pick policy must surface typed, never a bare KeyError
+            raise GenericResolutionError(
+                f"pick_document({expr.name!r}) raised "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         return self.eval(DocExpr(member.name, member.peer), at, ready_at, depth + 1)
 
     # -- fragmented documents (repro.dist): scatter-gather ----------------------------
@@ -302,30 +433,18 @@ class ExpressionEvaluator:
         outcome = EvalOutcome(completed_at=ready_at)
         root = Element(info.root_tag, attrs=dict(info.root_attrs))
         for fragment in info.fragments:
-            live = [
-                pid
-                for pid in fragment.peers
-                if pid in self.system.peers
-                and self.system.peers[pid].alive
-                and self.system.peers[pid].has_document(fragment.name)
-            ]
-            if not live:
-                # every copy died with its peer: refuse loudly rather
-                # than reassemble a partial document (a wrong answer).
-                raise FragmentUnavailableError(fragment.name, fragment.peers)
-            ref: Expression
-            if fragment.generic is not None:
-                ref = GenericDoc(fragment.generic)
-            else:
-                ref = DocExpr(fragment.name, live[0])
             try:
-                sub = self.eval(ref, at, ready_at, depth + 1)
-            except GenericResolutionError:
-                # the registry lost the last live member (e.g. churn
-                # cleanup raced a concurrent retire): same typed failure.
-                raise FragmentUnavailableError(
-                    fragment.name, fragment.peers
-                ) from None
+                sub = self._eval_fragment(fragment, at, ready_at, depth)
+            except (FaultError, FragmentUnavailableError, PeerDownError) as exc:
+                if not self.partial:
+                    raise
+                # graceful degradation: record the lost slice and keep
+                # reassembling what did arrive — the PartialAnswer
+                # provenance names exactly this fragment as missing
+                self._record_loss(
+                    "fragment", fragment.name, fragment.peers, exc
+                )
+                continue
             outcome.merge_effects(sub)
             outcome.completed_at = max(outcome.completed_at, sub.completed_at)
             for item in sub.items:
@@ -338,13 +457,72 @@ class ExpressionEvaluator:
         outcome.items = [root]
         return outcome
 
+    def _eval_fragment(
+        self, fragment, at: str, ready_at: float, depth: int
+    ) -> EvalOutcome:
+        """Fetch one fragment, failing over across its surviving copies.
+
+        Without a recovery policy this is the exact historical path: one
+        reference (generic when replicated, else the first live copy),
+        faults propagate.  With one, a copy whose transfers kept failing
+        (or whose peer died mid-read) is abandoned and the next live copy
+        serves the read instead.
+        """
+        live = [
+            pid
+            for pid in fragment.peers
+            if pid in self.system.peers
+            and self.system.peers[pid].alive
+            and self.system.peers[pid].has_document(fragment.name)
+        ]
+        if not live:
+            # every copy died with its peer: refuse loudly rather
+            # than reassemble a partial document (a wrong answer).
+            raise FragmentUnavailableError(fragment.name, fragment.peers)
+        candidates: List[Expression] = []
+        if fragment.generic is not None:
+            candidates.append(GenericDoc(fragment.generic))
+            if self.recovery is not None:
+                candidates.extend(DocExpr(fragment.name, pid) for pid in live)
+        else:
+            candidates.append(DocExpr(fragment.name, live[0]))
+            if self.recovery is not None:
+                candidates.extend(
+                    DocExpr(fragment.name, pid) for pid in live[1:]
+                )
+        last_exc: Optional[ReproError] = None
+        for ref in candidates:
+            try:
+                return self.eval(ref, at, ready_at, depth + 1)
+            except GenericResolutionError:
+                # the registry lost the last live member (e.g. churn
+                # cleanup raced a concurrent retire): same typed failure.
+                raise FragmentUnavailableError(
+                    fragment.name, fragment.peers
+                ) from None
+            except (TransferTimeoutError, PeerDownError) as exc:
+                # this copy is unreachable; re-pick among the survivors,
+                # starting no earlier than the failure was detected
+                last_exc = exc
+                self._count("fragment_failovers")
+                ready_at = max(ready_at, getattr(exc, "at", ready_at))
+                continue
+        assert last_exc is not None
+        raise last_exc
+
     def _eval_gather(
         self, expr: Gather, at: str, ready_at: float, depth: int
     ) -> EvalOutcome:
         """Order-preserving union: parts evaluate independently, in parallel."""
         outcome = EvalOutcome(completed_at=ready_at)
         for part in expr.parts:
-            sub = self.eval(part, at, ready_at, depth + 1)
+            try:
+                sub = self.eval(part, at, ready_at, depth + 1)
+            except (FaultError, FragmentUnavailableError, PeerDownError) as exc:
+                if not self.partial:
+                    raise
+                self._record_loss("branch", type(part).__name__, (), exc)
+                continue
             outcome.merge_effects(sub)
             outcome.items.extend(sub.items)
             outcome.completed_at = max(outcome.completed_at, sub.completed_at)
@@ -362,7 +540,7 @@ class ExpressionEvaluator:
             kind=MessageKind.QUERY,
             payload=expr.query.source,
         )
-        arrival = self.system.network.deliver(message, ready_at)
+        arrival = self._deliver(message, ready_at)
         return EvalOutcome(query=expr.query, completed_at=arrival)
 
     # -- definitions (2) and (7): query application ---------------------------------------
@@ -381,18 +559,30 @@ class ExpressionEvaluator:
             latest = max(latest, sub.completed_at)
 
         peer = self.system.peer(at)
+        latest = self._stalled(at, latest)
         result, done = peer.evaluate(query, arg_values, latest)
         outcome.items = _as_forest(result)
         outcome.completed_at = done
         return outcome
 
+    def _pick_service(self, name: str, at: str):
+        """Registry pick with the untyped-exception guard (audit fix)."""
+        try:
+            return self.system.registry.pick_service(
+                name, at, self.system, self.pick_policy
+            )
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise GenericResolutionError(
+                f"pick_service({name!r}) raised {type(exc).__name__}: {exc}"
+            ) from exc
+
     def _resolve_apply_head(
         self, head, at: str, ready_at: float
     ) -> Tuple[Query, float]:
         if isinstance(head, GenericService):
-            member = self.system.registry.pick_service(
-                head.name, at, self.system, self.pick_policy
-            )
+            member = self._pick_service(head.name, at)
             service = self.system.peer(member.peer).service(member.name)
             if not isinstance(service, DeclarativeService):
                 raise ExpressionError(
@@ -407,7 +597,7 @@ class ExpressionEvaluator:
         message = Message(
             src=head.home, dst=at, kind=MessageKind.QUERY, payload=head.query.source
         )
-        arrival = self.system.network.deliver(message, ready_at)
+        arrival = self._deliver(message, ready_at)
         return head.query, arrival
 
     # -- definition (6): service calls ------------------------------------------------
@@ -416,9 +606,7 @@ class ExpressionEvaluator:
     ) -> EvalOutcome:
         provider_id = expr.provider
         if provider_id == ANY:
-            member = self.system.registry.pick_service(
-                expr.service, at, self.system, self.pick_policy
-            )
+            member = self._pick_service(expr.service, at)
             provider_id = member.peer
             service_name = member.name
         else:
@@ -453,9 +641,22 @@ class ExpressionEvaluator:
             payload=payload,
             headers={"service": service_name},
         )
-        arrival = self.system.network.deliver(call_message, latest)
+        arrival = self._call_provider(
+            call_message, provider_id, service_name, latest
+        )
+        arrival = self._stalled(provider_id, arrival)
 
-        responses = service.invoke(param_values, provider)
+        try:
+            responses = service.invoke(param_values, provider)
+        except ReproError:
+            raise
+        except Exception as exc:
+            # audit fix: a buggy native implementation surfaces typed,
+            # never a bare KeyError/TypeError from inside the callable
+            raise ServiceCallError(
+                f"service {service_name!r} on {provider_id!r} raised "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         done = provider.charge(service.work_units(param_values), arrival)
 
         # responses may embed further service calls — activate them at the
@@ -495,10 +696,79 @@ class ExpressionEvaluator:
                 kind=MessageKind.RESULT,
                 payload=serialize(response),
             )
-            last = max(last, self.system.network.deliver(message, done))
+            last = max(last, self._deliver(message, done))
         outcome.items = settled
         outcome.completed_at = last
         return outcome
+
+    def _call_provider(
+        self,
+        message: Message,
+        provider_id: str,
+        service_name: str,
+        ready_at: float,
+    ) -> float:
+        """Ship the CALL message, surviving injected service faults.
+
+        A ``service-fail`` window covering the arrival fails the call
+        immediately; a ``service-hang`` window delays the answer to the
+        window's end (bounded virtual time — never a real hang).  With a
+        recovery policy, a hung call is *cancelled* at the per-call
+        timeout budget and retried like a failure; without one, failures
+        raise :class:`ServiceCallFaultError` on first occurrence and
+        hangs simply wait the window out.
+        """
+        faults = self.system.network.faults
+        policy = self.recovery
+        clock = ready_at
+        attempt = 0
+        while True:
+            arrival = self._deliver(message, clock)
+            verdict = (
+                faults.service_verdict(provider_id, service_name, arrival)
+                if faults is not None
+                else None
+            )
+            if verdict is None:
+                return arrival
+            faults.count("service_faults")
+            if verdict.kind == SERVICE_HANG:
+                if policy is None or arrival + policy.timeout("call") >= verdict.end:
+                    # wait out the window: slow, bounded, still correct
+                    faults.count("calls_hung")
+                    return verdict.end
+                # cancel the hung call at its timeout budget, then retry
+                failure_at = arrival + policy.timeout("call")
+                detail = "hung (cancelled at timeout)"
+                faults.count("calls_cancelled")
+            else:
+                failure_at = arrival
+                detail = "failed"
+            if policy is None:
+                raise ServiceCallFaultError(
+                    f"service {service_name!r} on {provider_id!r} {detail}",
+                    at=failure_at,
+                )
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                raise ServiceCallFaultError(
+                    f"service {service_name!r} on {provider_id!r} {detail} "
+                    f"after {attempt} attempts",
+                    at=failure_at,
+                )
+            retry_at = failure_at + policy.delay(
+                attempt - 1, f"call:{provider_id}:{service_name}"
+            )
+            if retry_at > self.deadline_at:
+                raise DeadlineExceededError(
+                    f"call to {service_name!r} on {provider_id!r} would "
+                    f"retry at {retry_at:.6f}, past the deadline "
+                    f"{self.deadline_at:.6f}",
+                    at=failure_at,
+                )
+            self.job_retries += 1
+            self._count("retries")
+            clock = retry_at
 
     # -- definitions (3), (4), (8): send -------------------------------------------------
     def _eval_send(
@@ -531,7 +801,7 @@ class ExpressionEvaluator:
             message = Message(
                 src=relay_from, dst=hop, kind=MessageKind.DATA, payload=data
             )
-            clock = self.system.network.deliver(message, clock)
+            clock = self._deliver(message, clock)
             relay_from = hop
 
         dest = expr.dest
@@ -539,7 +809,7 @@ class ExpressionEvaluator:
             message = Message(
                 src=relay_from, dst=dest.peer, kind=MessageKind.DATA, payload=data
             )
-            clock = self.system.network.deliver(message, clock)
+            clock = self._deliver(message, clock)
             name = self._install_anonymous(dest.peer, inner.items)
             outcome.installed.append((name, dest.peer))
         elif isinstance(dest, DocDest):
@@ -550,7 +820,7 @@ class ExpressionEvaluator:
                 payload=data,
                 headers={"doc": dest.name},
             )
-            clock = self.system.network.deliver(message, clock)
+            clock = self._deliver(message, clock)
             root = _forest_to_document(inner.items, dest.name)
             self.system.peer(dest.peer).install_document(dest.name, root)
             outcome.installed.append((dest.name, dest.peer))
@@ -586,7 +856,7 @@ class ExpressionEvaluator:
         message = Message(
             src=at, dst=dest.peer, kind=MessageKind.QUERY, payload=query.source
         )
-        clock = self.system.network.deliver(message, inner.completed_at)
+        clock = self._deliver(message, inner.completed_at)
         target = self.system.peer(dest.peer)
         # The paper names the deployed service send_{p→p'}(q); we use a
         # fresh concrete name with the same flavour.
@@ -614,7 +884,7 @@ class ExpressionEvaluator:
             kind=MessageKind.QUERY,
             payload=expression_to_text(expr.expr),
         )
-        arrival = self.system.network.deliver(message, ready_at)
+        arrival = self._deliver(message, ready_at)
         remote = self.eval(expr.expr, expr.peer, arrival, depth + 1)
         if not remote.items and remote.query is None:
             # pure side effects (e.g. sc with forward lists): nothing to
@@ -654,13 +924,13 @@ class ExpressionEvaluator:
             message = Message(
                 src=src, dst=dst, kind=MessageKind.QUERY, payload=outcome.query.source
             )
-            arrival = self.system.network.deliver(message, ready_at)
+            arrival = self._deliver(message, ready_at)
             shipped = EvalOutcome(query=outcome.query, completed_at=arrival)
             shipped.merge_effects(outcome)
             return shipped
         payload = "".join(serialize(item) for item in outcome.items)
         message = Message(src=src, dst=dst, kind=MessageKind.DATA, payload=payload)
-        arrival = self.system.network.deliver(message, ready_at)
+        arrival = self._deliver(message, ready_at)
         shipped = EvalOutcome(
             items=[item.copy() for item in outcome.items],
             completed_at=arrival,
@@ -683,7 +953,7 @@ class ExpressionEvaluator:
             payload=serialize(item),
             headers={"target": str(target)},
         )
-        arrival = self.system.network.deliver(message, ready_at)
+        arrival = self._deliver(message, ready_at)
         peer = self.system.peer(target.peer)
         node = peer.find_node(target)
         if node is None:

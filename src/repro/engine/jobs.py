@@ -50,6 +50,16 @@ class JobRequest:
     name: Optional[str] = None
     arrival: float = 0.0
     optimize: bool = True
+    #: Virtual seconds the client waits past ``arrival`` before the job
+    #: must have settled.  ``None`` (the default) means unbounded — the
+    #: historical behavior.  A blown deadline fails the job with a typed
+    #: :class:`~repro.errors.DeadlineExceededError`, or degrades it to a
+    #: :class:`~repro.faults.PartialAnswer` when ``partial`` is set.
+    deadline: Optional[float] = None
+    #: Accept a graceful partial answer under faults instead of failing:
+    #: lost fragments/services/branches are dropped from the answer and
+    #: recorded as :class:`~repro.faults.PartialAnswer` provenance.
+    partial: bool = False
     #: Optional write operation (:mod:`repro.writes`).  When set, the
     #: job is a *write job*: ``source``/``at``/``bind`` are ignored and
     #: the scheduler routes the op through
@@ -89,6 +99,10 @@ class QueryJob:
     #: Outcome of a write job (:class:`~repro.writes.WriteResult`);
     #: ``report`` stays ``None`` for writes.
     write_result: Optional[object] = None
+    #: Provenance of a degraded answer (:class:`~repro.faults.PartialAnswer`)
+    #: when the job ran with ``partial=True`` and faults cost it parts or
+    #: its deadline; ``None`` means the answer is complete and exact.
+    partial: Optional[object] = None
 
     @property
     def name(self) -> str:

@@ -37,6 +37,8 @@ class FleetMetrics:
 
     jobs: int = 0
     failed: int = 0
+    #: Completed jobs that degraded to a partial answer under faults.
+    partials: int = 0
     #: First arrival to last settle — the fleet's wall clock.
     makespan: float = 0.0
     #: Completed jobs per virtual second of makespan.
@@ -51,8 +53,10 @@ class FleetMetrics:
     utilization: Dict[str, float] = field(default_factory=dict)
 
     def describe(self) -> str:
+        partial = f" ({self.partials} partial)" if self.partials else ""
         lines = [
-            f"jobs:        {self.jobs} completed, {self.failed} failed",
+            f"jobs:        {self.jobs} completed{partial}, "
+            f"{self.failed} failed",
             f"makespan:    {self.makespan * 1000:.2f}ms virtual "
             f"({self.queries_per_sec:.2f} queries/sec)",
             f"latency:     mean {self.latency_mean * 1000:.2f}ms  "
@@ -92,6 +96,11 @@ class ServingReport:
     #: churn failover) when a :class:`repro.placement.PlacementActor`
     #: rode the run; empty for static placement.
     actions: List[str] = field(default_factory=list)
+    #: Fault/recovery counters for the run (messages dropped, transfers
+    #: corrupted, retries spent, parts lost, …) merged from the installed
+    #: :class:`repro.faults.FaultState` and the evaluator; empty for a
+    #: fault-free run.
+    faults: Dict[str, int] = field(default_factory=dict)
 
     @property
     def reports(self) -> List[Optional["ExecutionReport"]]:
@@ -112,6 +121,10 @@ class ServingReport:
             lines.append("placement actions:")
             for action in self.actions:
                 lines.append(f"  {action}")
+        if self.faults:
+            lines.append("faults:")
+            for key in sorted(self.faults):
+                lines.append(f"  {key}: {self.faults[key]}")
         return "\n".join(lines)
 
 
@@ -122,7 +135,10 @@ def summarize(
     """Fold per-job timestamps into :class:`FleetMetrics`."""
     completed = [job for job in jobs if job.status == DONE]
     failed = sum(1 for job in jobs if job.status == FAILED)
-    metrics = FleetMetrics(jobs=len(completed), failed=failed)
+    partials = sum(
+        1 for job in completed if getattr(job, "partial", None) is not None
+    )
+    metrics = FleetMetrics(jobs=len(completed), failed=failed, partials=partials)
     if not completed:
         return metrics
     first = min(job.arrival for job in completed)

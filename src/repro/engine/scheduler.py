@@ -39,12 +39,14 @@ implements for one query's transfers.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import replace
 from random import Random
 from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
 
 from ..core.evaluator import ExpressionEvaluator
-from ..errors import ReproError, SessionError
+from ..errors import DeadlineExceededError, ReproError, SessionError
+from ..faults.recovery import PartialAnswer
 from ..peers.registry import POLICIES, PickPolicy
 from ..peers.system import AXMLSystem
 from .jobs import DONE, FAILED, PENDING, RUNNING, JobRequest, QueryJob, plan_peers
@@ -212,11 +214,19 @@ class Scheduler:
         target = self._serving_system()
         self._target = target
         evaluator = ExpressionEvaluator(
-            target, _ChargingPolicy(self.admission, self)
+            target,
+            _ChargingPolicy(self.admission, self),
+            recovery=self.session.retry,
         )
+        self.session._install_faults(target)
         try:
             if feed is not None:
                 self.submit_all(feed.initial())
+            if self.actor is not None and hasattr(self.actor, "on_start"):
+                # fault/churn actors must install their state *before* the
+                # first admission — the first job may already hit a window
+                for note in self.actor.on_start(target) or ():
+                    self.actions.append(f"0.000000000 {note}")
             if self.actor is not None and self._heap:
                 self._push(self.actor.interval, _TICK, None)
             while self._heap:
@@ -241,6 +251,12 @@ class Scheduler:
             for peer_id in target.peers
         }
         stats = target.network.stats
+        faults = {}
+        state = target.network.faults
+        if state is not None:
+            faults.update(state.counters)
+        for key, value in evaluator.counters.items():
+            faults[key] = faults.get(key, 0) + value
         return ServingReport(
             jobs=list(self.jobs),
             metrics=summarize(self.jobs, busy),
@@ -253,6 +269,7 @@ class Scheduler:
             peers=target.stats_snapshot(),
             events=list(self.events),
             actions=list(self.actions),
+            faults=faults,
         )
 
     def _serving_system(self) -> AXMLSystem:
@@ -298,7 +315,11 @@ class Scheduler:
         if request.write is not None:
             self._admit_write(job, now, target)
             return
+        deadline_at = (
+            now + request.deadline if request.deadline is not None else math.inf
+        )
         self._current_job = job
+        evaluator.begin_job(deadline_at=deadline_at, partial=request.partial)
         try:
             report = self.session.plan_job(request)
             job.peers = plan_peers(report.plan.expr, report.plan.site)
@@ -318,11 +339,36 @@ class Scheduler:
             return
         finally:
             self._current_job = None
+        losses = tuple(evaluator.losses)
+        late = outcome.completed_at > deadline_at
+        if late and not request.partial:
+            # the answer exists but nobody is waiting for it any more:
+            # the client's budget ran out at deadline_at
+            evaluator._count("deadlines_exceeded")
+            job.status = FAILED
+            job.error = DeadlineExceededError(
+                f"job {job.name!r} settled at {outcome.completed_at:.6f}, "
+                f"past its deadline {deadline_at:.6f}",
+                at=deadline_at,
+            )
+            job.finished_at = deadline_at
+            self._push(job.finished_at, _COMPLETION, job)
+            return
         job.status = DONE
         job.finished_at = outcome.completed_at
         report.items = list(outcome.items)
         report.executed = True
         report.completed_at = outcome.completed_at
+        if request.partial and (losses or late):
+            if late:
+                evaluator._count("deadlines_exceeded")
+            job.partial = PartialAnswer(
+                lost=losses,
+                retries=evaluator.job_retries,
+                deadline_exceeded=late,
+            )
+            report.partial = job.partial
+            evaluator._count("partial_answers")
         job.report = report
         self._push(job.finished_at, _COMPLETION, job)
 

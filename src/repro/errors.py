@@ -190,6 +190,72 @@ class FragmentUnavailableError(FragmentationError):
         )
 
 
+class FaultError(ReproError):
+    """Base class for injected-fault and recovery errors (:mod:`repro.faults`).
+
+    Every failure the fault-injection layer can produce — lost or
+    corrupted transfers, failed or hung service calls, exhausted retry
+    budgets, blown deadlines — surfaces as a subclass of this, so the
+    serving engine (and callers) can distinguish "the environment broke"
+    from "the query was wrong".  Instances carry ``at``, the virtual
+    instant the failure was detected, so retries and deadlines are
+    charged on the same clock everything else runs on.
+    """
+
+    def __init__(self, message: str, at: float = 0.0) -> None:
+        self.at = at
+        super().__init__(message)
+
+
+class TransferFaultError(FaultError):
+    """Base class for per-transfer faults raised inside the network."""
+
+
+class MessageLostError(TransferFaultError):
+    """A message was dropped in transit by an injected link-drop window.
+
+    ``at`` is the virtual instant the loss is detected by the sender
+    (the would-be hop completion) — the earliest a retry can start.
+    """
+
+
+class TransferCorruptionError(TransferFaultError):
+    """A transfer arrived corrupted (content fingerprint mismatch).
+
+    The bytes crossed the wire — link occupancy was charged — but the
+    receiver's fingerprint check rejects the payload, so the transfer
+    must be retried like a loss detected at arrival time.
+    """
+
+
+class TransferTimeoutError(FaultError):
+    """A transfer (or call) kept failing until the retry budget ran out.
+
+    The typed terminal outcome of :class:`repro.faults.RetryPolicy`
+    exhaustion; ``__cause__`` carries the last underlying fault.
+    """
+
+
+class ServiceCallFaultError(FaultError):
+    """An injected service-call failure or a cancelled hung call.
+
+    Distinct from :class:`ServiceCallError` (malformed ``sc`` nodes /
+    activation bugs): this is the *environment* failing a well-formed
+    call — the provider errored out or did not answer within the
+    per-kind timeout budget.
+    """
+
+
+class DeadlineExceededError(FaultError):
+    """A job's deadline passed before its answer (or retries) settled.
+
+    Raised by the engine when a :class:`~repro.engine.jobs.QueryJob`
+    carries a ``deadline`` and the evaluation (including backoff charged
+    on the virtual clock) runs past it; with ``partial=True`` the job
+    degrades to a :class:`repro.faults.PartialAnswer` instead.
+    """
+
+
 class WriteError(ReproError):
     """Raised for invalid write operations (:mod:`repro.writes`).
 

@@ -1,0 +1,48 @@
+"""Deterministic fault injection and recovery (chaos as a seeded scenario).
+
+The paper's peers live on an unreliable wide-area network; this package
+makes that unreliability a *first-class, reproducible* input.  A
+:class:`FaultPlan` scripts link drops/degradations, transfer
+corruption, service failures/hangs, peer stalls, and crash/rejoin pairs
+on the virtual clock; :class:`RetryPolicy` gives the evaluator bounded
+retries with seeded exponential backoff and per-kind timeouts; jobs can
+carry deadlines and opt into graceful degradation, yielding a
+:class:`PartialAnswer` whose provenance the differential harness proves
+is a subset of the fault-free answer.  An empty plan is a strict no-op:
+fault-free runs stay byte-identical to a build without this package.
+"""
+
+from .injector import FaultActor, FaultState
+from .plan import (
+    CORRUPT,
+    LINK_DEGRADE,
+    LINK_DROP,
+    PEER_CRASH,
+    PEER_REJOIN,
+    PEER_STALL,
+    SERVICE_FAIL,
+    SERVICE_HANG,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+)
+from .recovery import LostPart, PartialAnswer, RetryPolicy
+
+__all__ = [
+    "LINK_DROP",
+    "LINK_DEGRADE",
+    "CORRUPT",
+    "SERVICE_FAIL",
+    "SERVICE_HANG",
+    "PEER_STALL",
+    "PEER_CRASH",
+    "PEER_REJOIN",
+    "FaultEvent",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultState",
+    "FaultActor",
+    "RetryPolicy",
+    "LostPart",
+    "PartialAnswer",
+]

@@ -1,0 +1,128 @@
+"""Recovery machinery: retry policies, and partial-answer provenance.
+
+:class:`RetryPolicy` is deliberately *stateless*: the jitter for
+attempt ``n`` of operation ``key`` is drawn from a fresh
+``Random(f"retry:{seed}:{key}:{attempt}")``, so retry timing is a pure
+function of the policy — independent of how many other operations
+retried first, which keeps faulted runs byte-reproducible under
+concurrency.
+
+:class:`PartialAnswer` is the provenance record of a gracefully
+degraded job (``partial=True`` + faults): which fragments, service
+calls, or plan branches were lost (each a :class:`LostPart` with the
+typed error that killed it), how many retries were spent, and whether
+the deadline was blown.  The differential harness proves every partial
+answer is a multiset subset of the fault-free answer — degradation
+never invents data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Tuple
+
+from ..errors import WorkloadError
+
+__all__ = ["RetryPolicy", "LostPart", "PartialAnswer"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, seeded, virtual-clock-charged retry behavior.
+
+    ``delay(attempt, key)`` is the backoff charged *on the virtual
+    clock* after failed attempt ``attempt`` (0-based): exponential in
+    the attempt with a seeded jitter fraction on top.  ``timeout(kind)``
+    is the per-kind budget after which a silent operation is declared
+    hung and cancelled (``"call"`` for service calls, ``"data"`` for
+    transfers).
+    """
+
+    max_attempts: int = 4
+    backoff: float = 0.005
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    call_timeout: float = 0.05
+    data_timeout: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise WorkloadError(
+                f"RetryPolicy.max_attempts must be >= 1, "
+                f"got {self.max_attempts!r}"
+            )
+        if self.backoff <= 0 or self.multiplier < 1:
+            raise WorkloadError(
+                "RetryPolicy needs backoff > 0 and multiplier >= 1, got "
+                f"({self.backoff!r}, {self.multiplier!r})"
+            )
+        if not (0 <= self.jitter <= 1):
+            raise WorkloadError(
+                f"RetryPolicy.jitter must be in [0, 1], got {self.jitter!r}"
+            )
+        if self.call_timeout <= 0 or self.data_timeout <= 0:
+            raise WorkloadError(
+                "RetryPolicy timeouts must be positive, got "
+                f"({self.call_timeout!r}, {self.data_timeout!r})"
+            )
+
+    def delay(self, attempt: int, key: str) -> float:
+        """Backoff after failed 0-based ``attempt`` of operation ``key``."""
+        base = self.backoff * self.multiplier ** attempt
+        spread = Random(f"retry:{self.seed}:{key}:{attempt}").random()
+        return base * (1.0 + self.jitter * spread)
+
+    def timeout(self, kind: str = "data") -> float:
+        return self.call_timeout if kind == "call" else self.data_timeout
+
+
+@dataclass(frozen=True)
+class LostPart:
+    """One piece of the answer that faults took away.
+
+    ``kind`` is ``"fragment"`` (a fragment with no reachable copy),
+    ``"service"`` (an unactivatable service call), or ``"branch"`` (a
+    failed gather arm); ``error`` names the typed exception class that
+    sealed the loss at virtual instant ``at``.
+    """
+
+    kind: str
+    name: str
+    peers: Tuple[str, ...] = ()
+    error: str = ""
+    at: float = 0.0
+
+    def describe(self) -> str:
+        where = f" (on {', '.join(self.peers)})" if self.peers else ""
+        return f"{self.kind} {self.name}{where}: {self.error} @ {self.at:.6f}"
+
+
+@dataclass(frozen=True)
+class PartialAnswer:
+    """Provenance of a gracefully degraded answer.
+
+    Attached to a DONE job (``QueryJob.partial`` /
+    ``ExecutionReport.partial``) whenever ``partial=True`` and the run
+    lost parts or blew its deadline; ``None`` on the job means the
+    answer is complete and exact.
+    """
+
+    lost: Tuple[LostPart, ...] = field(default_factory=tuple)
+    retries: int = 0
+    deadline_exceeded: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return not self.lost and not self.deadline_exceeded
+
+    def describe(self) -> str:
+        lines = [
+            f"partial answer: {len(self.lost)} part(s) lost, "
+            f"{self.retries} retries spent"
+            + (", deadline exceeded" if self.deadline_exceeded else "")
+        ]
+        for part in self.lost:
+            lines.append(f"  - {part.describe()}")
+        return "\n".join(lines)

@@ -21,7 +21,13 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..errors import NetworkError, NoRouteError, UnknownPeerError
+from ..errors import (
+    MessageLostError,
+    NetworkError,
+    NoRouteError,
+    TransferCorruptionError,
+    UnknownPeerError,
+)
 from .message import Message, MessageKind
 
 __all__ = ["Link", "LinkStats", "NetworkStats", "PeerTraffic", "Network"]
@@ -61,12 +67,20 @@ class Link:
         """Time the link is occupied by a transfer of ``size`` bytes."""
         return size / self.bandwidth
 
-    def schedule(self, size: int, ready_at: float) -> Tuple[float, float]:
-        """Occupy the link; returns (start_time, arrival_time)."""
+    def schedule(
+        self, size: int, ready_at: float, slow: float = 1.0
+    ) -> Tuple[float, float]:
+        """Occupy the link; returns (start_time, arrival_time).
+
+        ``slow`` multiplies both occupancy and latency — the injected
+        link-degrade fault.  The default 1.0 leaves every arithmetic
+        result bit-identical to the pre-fault code path (``x * 1.0 == x``
+        exactly in IEEE 754), preserving the empty-plan no-op contract.
+        """
         start = max(ready_at, self.busy_until)
-        occupancy = self.transfer_cost(size)
+        occupancy = self.transfer_cost(size) * slow
         self.busy_until = start + occupancy
-        arrival = start + occupancy + self.latency
+        arrival = start + occupancy + self.latency * slow
         self.stats.record(size, occupancy)
         return start, arrival
 
@@ -137,6 +151,9 @@ class Network:
         self.stats = NetworkStats()
         self.log: List[Tuple[float, Message]] = []
         self.keep_log = False
+        #: Installed :class:`repro.faults.FaultState`, or ``None`` for the
+        #: exact historical fault-free behavior (the default).
+        self.faults = None
 
     # -- construction ---------------------------------------------------------
     def add_peer(self, peer_id: str) -> None:
@@ -244,9 +261,43 @@ class Network:
         if message.src == message.dst:
             return ready_at
         links = self.route(message.src, message.dst)
+        faults = self.faults
         clock = ready_at
+        corrupted = False
         for link in links:
-            _, clock = link.schedule(message.size, clock)
+            if faults is None:
+                _, clock = link.schedule(message.size, clock)
+                continue
+            slow = faults.degrade_factor(link.src, link.dst, clock)
+            if slow > 1.0:
+                faults.count("hops_degraded")
+            start, clock = link.schedule(message.size, clock, slow=slow)
+            verdict = faults.hop_verdict(link.src, link.dst, start)
+            if verdict == "drop":
+                # the hop was charged (the bytes left the sender) but the
+                # message never completes; the sender detects the loss at
+                # the would-be hop completion and may retry from there
+                faults.count("messages_dropped")
+                self.stats.record(message)
+                raise MessageLostError(
+                    f"message {message.src!r}->{message.dst!r} "
+                    f"({message.kind}) lost on hop "
+                    f"{link.src!r}->{link.dst!r}",
+                    at=clock,
+                )
+            if verdict == "corrupt":
+                corrupted = True
+        if corrupted:
+            # every hop was charged; the receiver's content-fingerprint
+            # check rejects the payload at arrival time
+            faults.count("transfers_corrupted")
+            self.stats.record(message)
+            raise TransferCorruptionError(
+                f"message {message.src!r}->{message.dst!r} "
+                f"({message.kind}) arrived corrupted "
+                f"(fingerprint mismatch)",
+                at=clock,
+            )
         self.stats.record(message)
         if self.keep_log:
             self.log.append((clock, message))
@@ -286,6 +337,30 @@ class Network:
             receiver.received_bytes += stats.bytes
             receiver.received_messages += stats.messages
         return traffic
+
+    def cancel_peer_traffic(self, peer_id: str, now: float = 0.0) -> int:
+        """Cancel in-flight transfers on links touching ``peer_id``.
+
+        Called when a peer dies: anything still occupying its links is
+        torn down, not silently delivered after a later rejoin.  Each
+        adjacent link's ``busy_until`` is clamped to ``now`` (traffic
+        already completed stays charged in the stats — the bytes did
+        cross the wire before the crash).  Returns the number of links
+        that had pending traffic cancelled.
+        """
+        cancelled = 0
+        for (src, dst), link in self._links.items():
+            if peer_id in (src, dst) and link.busy_until > now:
+                link.busy_until = now
+                cancelled += 1
+        # reset_clocks-style postcondition: nothing adjacent to the dead
+        # peer is still occupying a link past this instant
+        assert all(
+            link.busy_until <= now
+            for (src, dst), link in self._links.items()
+            if peer_id in (src, dst)
+        ), f"pending traffic survived cancel_peer_traffic({peer_id!r})"
+        return cancelled
 
     # -- lifecycle ----------------------------------------------------------------
     def reset_clocks(self) -> None:

@@ -86,7 +86,7 @@ class ChurnController:
 
     def apply(self, event: ChurnEvent, now: float = 0.0) -> List[str]:
         if event.action == KILL:
-            return self.kill(event.peer)
+            return self.kill(event.peer, now=now)
         return self.join(
             event.peer,
             compute_speed=event.compute_speed,
@@ -95,17 +95,26 @@ class ChurnController:
         )
 
     # -- leave -----------------------------------------------------------------
-    def kill(self, peer_id: str) -> List[str]:
+    def kill(self, peer_id: str, now: float = 0.0) -> List[str]:
         """Peer ``peer_id`` leaves: mark dead, scrub registry, fail over.
 
         Idempotent; the peer object (and its documents) stay around so
         accounting can settle, but nothing routes to it any more.
+        In-flight transfers on the victim's links are cancelled at
+        ``now`` — a later rejoin must not find pre-crash traffic still
+        queued for silent delivery.
         """
         peer = self.system.peer(peer_id)
         if not peer.alive:
             return [f"kill {peer_id}: already down"]
         peer.alive = False
         notes = [f"kill {peer_id}"]
+        cancelled = self.system.network.cancel_peer_traffic(peer_id, now)
+        if cancelled:
+            notes.append(
+                f"cancelled in-flight traffic on {cancelled} links "
+                f"touching {peer_id}"
+            )
         scrubbed = self.system.registry.remove_peer(peer_id)
         if scrubbed:
             notes.append(

@@ -131,6 +131,10 @@ class ExecutionReport:
     #: memoization is disabled (hits are then simply zero); ``None``
     #: only for third-party strategies that do not report metrics.
     plan_cache: Optional[CacheStats] = None
+    #: Provenance of a degraded answer (:class:`repro.faults.PartialAnswer`)
+    #: when the run executed with ``partial=True`` under faults and lost
+    #: parts (or blew its deadline); ``None`` means complete and exact.
+    partial: Optional[object] = None
 
     @property
     def improvement(self) -> float:
@@ -253,6 +257,8 @@ class Session:
         isolate: bool = True,
         strategy_options: Optional[Mapping] = None,
         plan_cache: Union[PlanCache, None, str] = "auto",
+        retry=None,
+        fault_plan=None,
     ) -> None:
         self.system = system
         self.strategy = make_strategy(strategy, **dict(strategy_options or {}))
@@ -260,6 +266,14 @@ class Session:
         self.trace = trace
         self.pick_policy = pick_policy
         self.isolate = isolate
+        #: Recovery policy (:class:`repro.faults.RetryPolicy`) wired into
+        #: every evaluator this session creates; ``None`` (default) means
+        #: faults propagate typed on first occurrence.
+        self.retry = retry
+        #: Fault plan (:class:`repro.faults.FaultPlan`) installed on the
+        #: serving/execution system before evaluation; ``None`` or an
+        #: empty plan leaves behavior byte-identical to fault-free runs.
+        self.fault_plan = fault_plan
         if isinstance(plan_cache, str):
             if plan_cache != "auto":
                 raise SessionError(
@@ -392,8 +406,16 @@ class Session:
         bind: Optional[Mapping[str, Binding]] = None,
         name: Optional[str] = None,
         optimize: bool = True,
+        deadline: Optional[float] = None,
+        partial: bool = False,
     ) -> ExecutionReport:
-        """Parse → decompose → optimize → verify → evaluate, in one call."""
+        """Parse → decompose → optimize → verify → evaluate, in one call.
+
+        ``deadline`` bounds the answer's virtual settle time (typed
+        :class:`~repro.errors.DeadlineExceededError` past it);
+        ``partial=True`` degrades gracefully under injected faults
+        instead of failing — see :mod:`repro.faults`.
+        """
         query = self.compile(source, params=tuple(bind or {}), name=name)
         plan = self.plan(query, at, bind=bind, name=name)
         return self._pipeline(
@@ -403,6 +425,8 @@ class Session:
             source=query.source,
             name=query.name,
             decomposition=self._try_decompose(query),
+            deadline=deadline,
+            partial=partial,
         )
 
     def run(self, plan: Plan, optimize: bool = True) -> ExecutionReport:
@@ -539,6 +563,8 @@ class Session:
         name: Optional[str] = None,
         arrival: float = 0.0,
         optimize: bool = True,
+        deadline: Optional[float] = None,
+        partial: bool = False,
     ):
         """Admit one query to the serving engine; returns its pending job.
 
@@ -564,6 +590,8 @@ class Session:
                 name=name,
                 arrival=arrival,
                 optimize=optimize,
+                deadline=deadline,
+                partial=partial,
             )
         return self.engine().submit(request)
 
@@ -699,6 +727,8 @@ class Session:
         source: Optional[str] = None,
         name: Optional[str] = None,
         decomposition: Optional[Decomposition] = None,
+        deadline: Optional[float] = None,
+        partial: bool = False,
     ) -> ExecutionReport:
         self._verify_cache.clear()  # Σ may have changed since the last run
         if self.plan_cache is not None and not self.isolate:
@@ -726,19 +756,62 @@ class Session:
             plan_cache=result.cache,
         )
         if execute:
-            self._execute(report)
+            self._execute(report, deadline=deadline, partial=partial)
         return report
 
-    def _execute(self, report: ExecutionReport) -> None:
+    def _install_faults(self, target: AXMLSystem) -> None:
+        """Compile the session's fault plan onto ``target``'s network.
+
+        No plan (or an empty one) installs nothing — ``network.faults``
+        stays ``None`` and the exact historical code paths run.
+        """
+        if self.fault_plan is not None and self.fault_plan:
+            from .faults.injector import FaultState
+
+            state = getattr(target.network, "faults", None)
+            if state is None or state.plan is not self.fault_plan:
+                target.network.faults = FaultState(self.fault_plan)
+
+    def _execute(
+        self,
+        report: ExecutionReport,
+        deadline: Optional[float] = None,
+        partial: bool = False,
+    ) -> None:
         """Evaluate the chosen plan; fill in answers and accounting."""
+        import math as _math
+
         if self.isolate:
             target = self.system.clone()
         else:
             target = self.system
             target.reset()
-        outcome: EvalOutcome = ExpressionEvaluator(target, self.pick_policy).eval(
-            report.plan.expr, report.plan.site
+        self._install_faults(target)
+        evaluator = ExpressionEvaluator(
+            target, self.pick_policy, recovery=self.retry
         )
+        deadline_at = deadline if deadline is not None else _math.inf
+        evaluator.begin_job(deadline_at=deadline_at, partial=partial)
+        outcome: EvalOutcome = evaluator.eval(report.plan.expr, report.plan.site)
+        if outcome.completed_at > deadline_at and not partial:
+            from .errors import DeadlineExceededError
+
+            raise DeadlineExceededError(
+                f"query {report.name or '(anonymous)'} settled at "
+                f"{outcome.completed_at:.6f}, past its deadline "
+                f"{deadline_at:.6f}",
+                at=deadline_at,
+            )
+        if partial and (
+            evaluator.losses or outcome.completed_at > deadline_at
+        ):
+            from .faults.recovery import PartialAnswer
+
+            report.partial = PartialAnswer(
+                lost=tuple(evaluator.losses),
+                retries=evaluator.job_retries,
+                deadline_exceeded=outcome.completed_at > deadline_at,
+            )
         stats = target.network.stats
         report.items = list(outcome.items)
         report.executed = True

@@ -23,6 +23,7 @@ True
 """
 
 from .generator import (
+    CHAOS_SPEC,
     FRAGMENTED_SPEC,
     QUERY_SHAPES,
     TOPOLOGIES,
@@ -38,6 +39,8 @@ from .generator import (
 from .harness import (
     DEFAULT_STRATEGIES,
     DifferentialHarness,
+    FaultCheckResult,
+    FaultSweepReport,
     FragmentedQueryResult,
     FragmentedSweepReport,
     HarnessReport,
@@ -59,6 +62,7 @@ __all__ = [
     "GeneratedWrite",
     "TOPOLOGIES",
     "QUERY_SHAPES",
+    "CHAOS_SPEC",
     "FRAGMENTED_SPEC",
     "WRITE_MIX_SPEC",
     "DifferentialHarness",
@@ -71,5 +75,7 @@ __all__ = [
     "FragmentedSweepReport",
     "WriteCheckResult",
     "WriteSweepReport",
+    "FaultCheckResult",
+    "FaultSweepReport",
     "DEFAULT_STRATEGIES",
 ]

@@ -47,6 +47,7 @@ __all__ = [
     "ScenarioGenerator",
     "TOPOLOGIES",
     "QUERY_SHAPES",
+    "CHAOS_SPEC",
     "FRAGMENTED_SPEC",
     "WRITE_MIX_SPEC",
 ]
@@ -107,6 +108,16 @@ class ScenarioSpec:
     #: drawn from the rng when > 0, so existing seeds reproduce
     #: byte-identically.
     writes: int = 0
+    #: Correlated slow peers: this many peers (drawn together, one gated
+    #: draw) get their compute speed divided by ``slow_factor`` — the
+    #: "one rack is overloaded" long-tail family.  0 (the default) draws
+    #: nothing and keeps scenarios byte-identical.
+    slow_peers: int = 0
+    slow_factor: float = 4.0
+    #: Flash-crowd burst factor read by :class:`repro.engine.LoadGenerator`
+    #: as its default ``flash`` knob for open-loop streams (0 = off; the
+    #: knob never feeds the generation RNG).
+    flash_crowd: float = 0.0
 
     def validate(self) -> None:
         if self.peers < 1:
@@ -119,10 +130,24 @@ class ScenarioSpec:
         for count_field in (
             "documents", "axml_documents", "services", "replicas",
             "payload_words", "value_range", "fragments", "fragment_replicas",
-            "writes",
+            "writes", "slow_peers",
         ):
             if getattr(self, count_field) < 0:
                 raise WorkloadError(f"{count_field} cannot be negative")
+        if self.slow_peers > self.peers:
+            raise WorkloadError(
+                f"slow_peers ({self.slow_peers}) cannot exceed "
+                f"peers ({self.peers})"
+            )
+        if self.slow_factor < 1:
+            raise WorkloadError(
+                f"slow_factor must be >= 1, got {self.slow_factor!r}"
+            )
+        if self.flash_crowd != 0 and self.flash_crowd < 1:
+            raise WorkloadError(
+                f"flash_crowd must be 0 (off) or >= 1, "
+                f"got {self.flash_crowd!r}"
+            )
         if self.documents + self.axml_documents < 1:
             raise WorkloadError("a scenario needs at least one document")
         if self.items < 1:
@@ -378,6 +403,16 @@ class ScenarioGenerator:
         system = AXMLSystem(network)
         for peer_id in peer_ids:
             system.add_peer(peer_id, compute_speed=rng.choice(_COMPUTE_SPEEDS))
+        if spec.slow_peers:
+            # gated draw: the knob at 0 consumes no randomness, so plain
+            # scenarios stay byte-identical.  One sample draws the whole
+            # correlated set — "the overloaded rack", not scattered picks.
+            slowed = sorted(
+                rng.sample(peer_ids, min(spec.slow_peers, len(peer_ids)))
+            )
+            for peer_id in slowed:
+                peer = system.peers[peer_id]
+                peer.compute_speed = peer.compute_speed / spec.slow_factor
 
         services = self._install_services(rng, spec, system, peer_ids)
         documents = self._install_documents(rng, spec, system, peer_ids, services)
@@ -789,4 +824,30 @@ WRITE_MIX_SPEC = ScenarioSpec(
     fragments=1,
     fragment_replicas=1,
     writes=6,
+)
+
+#: The chaos scenario family: fragmented + replicated + service-call
+#: documents with a correlated slow peer and a flash-crowd knob —
+#: everything the fault-injection layer can break, with enough copies
+#: that recovery has somewhere to fail over to.  Query shapes are
+#: restricted to the *monotone* subset (no ``count``): dropping a
+#: fragment from a monotone query provably yields a subset of the
+#: fault-free answer, which is the partial-answer invariant
+#: :meth:`~repro.workloads.harness.DifferentialHarness.check_faults`
+#: asserts.  (A count over a partial document would be a silently wrong
+#: number, not a subset — exactly what graceful degradation must never
+#: produce.)
+CHAOS_SPEC = ScenarioSpec(
+    peers=5,
+    documents=3,
+    axml_documents=1,
+    items=12,
+    services=1,
+    replicas=1,
+    queries=6,
+    query_shapes=("project", "filter", "construct", "let_filter", "join"),
+    fragments=1,
+    fragment_replicas=1,
+    slow_peers=1,
+    flash_crowd=4.0,
 )

@@ -31,7 +31,15 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ..core.cost import Cost
 from ..core.planspace import CacheStats, PlanCache
 from ..core.strategies import improvement_ratio
-from ..errors import DifferentialMismatchError, WorkloadError
+from ..errors import (
+    DifferentialMismatchError,
+    FaultError,
+    FragmentUnavailableError,
+    GenericResolutionError,
+    PeerDownError,
+    WorkloadError,
+)
+from ..faults import FaultActor, FaultPlan, FaultSpec, RetryPolicy
 from ..session import Session
 from ..xmlcore.canon import canonical_form
 from .generator import GeneratedQuery, Scenario, ScenarioGenerator, ScenarioSpec
@@ -46,6 +54,8 @@ __all__ = [
     "FragmentedSweepReport",
     "WriteCheckResult",
     "WriteSweepReport",
+    "FaultCheckResult",
+    "FaultSweepReport",
     "DifferentialHarness",
     "DEFAULT_STRATEGIES",
 ]
@@ -433,6 +443,188 @@ class WriteSweepReport:
         return "\n".join(lines)
 
 
+#: Verdicts that satisfy the three-way fault invariant: a faulted run may
+#: match the fault-free answer exactly, degrade to a provable subset of
+#: it (with a :class:`~repro.faults.PartialAnswer` attached), or fail
+#: with a *typed* error — never anything else.
+FAULT_OK_VERDICTS = frozenset({"identical", "partial-subset", "typed-error"})
+
+
+def _canonical_counts(items) -> Dict[str, int]:
+    """The canonical multiset of an answer forest, as repr -> count."""
+    counts: Dict[str, int] = {}
+    for item in items:
+        key = repr(canonical_form(item))
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _is_subset(counts: Dict[str, int], reference: Dict[str, int]) -> bool:
+    return all(
+        count <= reference.get(key, 0) for key, count in counts.items()
+    )
+
+
+def _classify_fault_job(job, reference, fault_seed, strategy):
+    """One faulted job against its fault-free reference answer."""
+    from ..engine.jobs import DONE, FAILED
+
+    if reference is None:
+        return FaultCheckResult(
+            job=job.name,
+            fault_seed=fault_seed,
+            strategy=strategy,
+            verdict="baseline-missing",
+            detail="fault-free run produced no answer to compare against",
+        )
+    if job.status == FAILED:
+        if isinstance(job.error, FAULT_TYPED_ERRORS):
+            return FaultCheckResult(
+                job=job.name,
+                fault_seed=fault_seed,
+                strategy=strategy,
+                verdict="typed-error",
+                detail=type(job.error).__name__,
+            )
+        return FaultCheckResult(
+            job=job.name,
+            fault_seed=fault_seed,
+            strategy=strategy,
+            verdict="untyped-error",
+            detail=f"{type(job.error).__name__}: {job.error}",
+        )
+    if job.status != DONE or job.report is None:
+        return FaultCheckResult(
+            job=job.name,
+            fault_seed=fault_seed,
+            strategy=strategy,
+            verdict="unsettled",
+            detail=f"status {job.status!r} after drain",
+        )
+    counts = _canonical_counts(job.report.items)
+    if counts == reference:
+        return FaultCheckResult(
+            job=job.name,
+            fault_seed=fault_seed,
+            strategy=strategy,
+            verdict="identical",
+        )
+    partial = getattr(job, "partial", None)
+    if partial is not None and _is_subset(counts, reference):
+        lost = len(getattr(partial, "lost", ()) or ())
+        return FaultCheckResult(
+            job=job.name,
+            fault_seed=fault_seed,
+            strategy=strategy,
+            verdict="partial-subset",
+            detail=f"{sum(counts.values())}/{sum(reference.values())} "
+            f"answers, {lost} parts lost",
+        )
+    if partial is not None:
+        return FaultCheckResult(
+            job=job.name,
+            fault_seed=fault_seed,
+            strategy=strategy,
+            verdict="partial-superset",
+            detail="partial answer contains items the fault-free run lacks",
+        )
+    return FaultCheckResult(
+        job=job.name,
+        fault_seed=fault_seed,
+        strategy=strategy,
+        verdict="silent-mismatch",
+        detail=f"{sum(counts.values())} answers vs "
+        f"{sum(reference.values())} fault-free, no partial marker",
+    )
+
+#: Exception types a faulted job is *allowed* to fail with.  Anything
+#: outside this taxonomy (a ``KeyError`` escaping the evaluator, say) is
+#: an invariant violation, not graceful degradation.
+FAULT_TYPED_ERRORS = (
+    FaultError,
+    FragmentUnavailableError,
+    GenericResolutionError,
+    PeerDownError,
+)
+
+
+@dataclass
+class FaultCheckResult:
+    """One served job of one (fault seed, strategy) cell, classified.
+
+    ``verdict`` is one of:
+
+    * ``identical`` — the answer's canonical multiset equals the
+      fault-free run's (retries healed everything);
+    * ``partial-subset`` — the job degraded to a
+      :class:`~repro.faults.PartialAnswer` and its answer is a strict
+      canonical-multiset subset of the fault-free answer;
+    * ``typed-error`` — the job failed with an error from the
+      :data:`FAULT_TYPED_ERRORS` taxonomy;
+    * anything else (``silent-mismatch``, ``partial-superset``,
+      ``untyped-error``, ``unsettled``, ``baseline-missing``) — an
+      invariant violation.
+    """
+
+    job: str
+    fault_seed: int
+    strategy: str
+    verdict: str
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict in FAULT_OK_VERDICTS
+
+    def describe(self) -> str:
+        line = (
+            f"job {self.job!r} [seed={self.fault_seed} {self.strategy}]: "
+            f"{self.verdict}"
+        )
+        if self.detail:
+            line += f" ({self.detail})"
+        return line
+
+
+@dataclass
+class FaultSweepReport:
+    """Aggregate three-way-invariant verdict over a chaos sweep."""
+
+    scenarios: int = 0
+    #: (scenario x fault seed x strategy) faulted serving runs.
+    cells: int = 0
+    results: List[FaultCheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def violations(self) -> List[FaultCheckResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def verdicts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.verdict] = counts.get(result.verdict, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        verdict = "ok" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        mix = ", ".join(
+            f"{name}: {count}" for name, count in sorted(self.verdicts.items())
+        )
+        lines = [
+            f"fault sweep: {self.scenarios} scenarios, {self.cells} faulted "
+            f"runs, {len(self.results)} jobs checked -> {verdict}"
+            + (f" [{mix}]" if mix else "")
+        ]
+        for violation in self.violations:
+            lines.append(f"  {violation.describe()}")
+        return "\n".join(lines)
+
+
 class DifferentialHarness:
     """Run queries under every strategy and assert they agree.
 
@@ -771,6 +963,110 @@ class DifferentialHarness:
                         member.name, tree.copy_without_ids(), replace=True
                     )
         return system
+
+    # -- fault sweeps ----------------------------------------------------------------
+    def check_faults_scenario(
+        self,
+        scenario: Scenario,
+        fault_seeds: Sequence[int] = (1, 2),
+        spec: Optional[FaultSpec] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline: Optional[float] = None,
+    ) -> List[FaultCheckResult]:
+        """Serve one scenario under seeded fault schedules; classify jobs.
+
+        For each strategy the scenario's queries are served twice: once
+        fault-free (the reference answers) and once per fault seed with a
+        generated :class:`~repro.faults.FaultPlan` installed, the
+        :class:`~repro.faults.FaultActor` driving crash/rejoin instants,
+        and the ``retry`` policy recovering transfers and calls.  Every
+        faulted job must land in one of exactly three buckets — answer
+        canonically identical to the fault-free run, a well-formed
+        partial answer that is a multiset *subset* of it, or a typed
+        error — and the drain must settle every job in bounded virtual
+        time (a hang would never return).  Silent wrong answers are the
+        one outcome with no bucket.
+        """
+        from ..engine.jobs import JobRequest
+
+        spec = spec if spec is not None else FaultSpec()
+        retry = retry if retry is not None else RetryPolicy()
+        requests = [
+            JobRequest(
+                arrival=index * 0.01,
+                partial=True,
+                deadline=deadline,
+                **query.kwargs(),
+            )
+            for index, query in enumerate(scenario.queries)
+        ]
+        results: List[FaultCheckResult] = []
+        for strategy in self.strategies:
+            baseline_session = Session(
+                scenario.system,
+                strategy=strategy,
+                strategy_options=self.strategy_options.get(strategy),
+                pick_policy=self.pick_policy,
+            )
+            baseline = baseline_session.serve(list(requests))
+            reference = {
+                job.name: _canonical_counts(job.report.items)
+                for job in baseline.jobs
+                if job.report is not None
+            }
+            for fault_seed in fault_seeds:
+                plan = FaultPlan.generate(fault_seed, scenario.system, spec)
+                session = Session(
+                    scenario.system,
+                    strategy=strategy,
+                    strategy_options=self.strategy_options.get(strategy),
+                    pick_policy=self.pick_policy,
+                    retry=retry,
+                    fault_plan=plan,
+                )
+                report = session.serve(list(requests), actor=FaultActor(plan))
+                for job in report.jobs:
+                    results.append(
+                        _classify_fault_job(
+                            job, reference.get(job.name), fault_seed, strategy
+                        )
+                    )
+        return results
+
+    def check_faults(
+        self,
+        scenarios: Iterable[Scenario],
+        fault_seeds: Sequence[int] = (1, 2),
+        spec: Optional[FaultSpec] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline: Optional[float] = None,
+        raise_on_violation: bool = False,
+    ) -> FaultSweepReport:
+        """Sweep scenarios under seeded chaos; assert the fault invariant.
+
+        The three-way invariant, per (scenario, fault seed, strategy)
+        cell and per job: *identical answer, or provable partial subset,
+        or typed error* — never a silent wrong answer, never a hang.
+        """
+        report = FaultSweepReport()
+        for scenario in scenarios:
+            report.scenarios += 1
+            report.cells += len(self.strategies) * len(tuple(fault_seeds))
+            for result in self.check_faults_scenario(
+                scenario,
+                fault_seeds=fault_seeds,
+                spec=spec,
+                retry=retry,
+                deadline=deadline,
+            ):
+                report.results.append(result)
+                if raise_on_violation and not result.ok:
+                    raise DifferentialMismatchError(
+                        f"fault invariant violated on scenario "
+                        f"seed={scenario.seed} index={scenario.index}: "
+                        f"{result.describe()}"
+                    )
+        return report
 
     # -- mismatch handling ---------------------------------------------------------
     def _find_disagreement(
