@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""O1 — observability overhead: tracing must be (nearly) free.
+
+The tracer's contract is two-sided.  *Semantically* it is invisible: a
+traced serving run spends no RNG, charges no virtual time, and leaves
+the scheduler event trace and every answer byte-identical to the
+untraced run (asserted here on every rep).  *Mechanically* it is cheap:
+the wall-clock cost of recording the span trees must stay within 5% of
+the untraced run — the ``tracing_overhead_ratio`` headline this bench
+gates and CI's perf-smoke watches.
+
+Method: the same closed-loop serving run (seeded scenario, shared
+``PlanCache``-warm Session per rep) is executed in interleaved
+off/on/off/on reps; each mode's cost is the *minimum* over its reps
+(minimum is the standard low-noise estimator for repeated identical
+work), and the ratio is min(on)/min(off).
+
+Also exports one representative traced run as Chrome-trace JSON —
+``benchmarks/results/o1_sample.perfetto.json`` — the artifact CI
+uploads so any PR's trace can be dropped into https://ui.perfetto.dev.
+
+Run:  python benchmarks/bench_o1_observe.py [--quick] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from common import RESULTS_DIR, emit, emit_json, format_table, timed_run  # noqa: E402
+
+from repro.engine import LoadGenerator  # noqa: E402
+from repro.obs import Tracer, analyze, write_chrome_trace  # noqa: E402
+from repro.session import Session  # noqa: E402
+from repro.workloads import ScenarioGenerator, ScenarioSpec  # noqa: E402
+
+BENCH_ID = "O1"
+JSON_NAME = "BENCH_observe"
+
+#: The gate: tracing may cost at most 5% wall time.
+MAX_OVERHEAD_RATIO = 1.05
+
+SPEC = ScenarioSpec(
+    peers=6, topology="mesh", documents=4, axml_documents=1,
+    items=20, services=2, replicas=2, queries=6,
+)
+
+JOBS = 32
+QUICK_JOBS = 16
+REPS = 5
+QUICK_REPS = 3
+CONCURRENCY = 4
+
+
+def serve_once(scenario, load, jobs, seed, traced):
+    """One serving run; returns (report, wall seconds, events, answers)."""
+    tracer = Tracer() if traced else None
+    session = Session(scenario.system, trace=tracer)
+    feed = load.closed_loop(jobs, CONCURRENCY)
+    report, seconds = timed_run(lambda: session.serve(feed=feed, seed=seed))
+    answers = tuple(
+        (job.name, tuple(job.answers)) for job in report.jobs
+    )
+    return report, seconds, tuple(report.events), answers
+
+
+def run(seed, jobs, reps):
+    scenario = ScenarioGenerator(seed=seed, spec=SPEC).scenario(0)
+    load = LoadGenerator(scenario, seed=seed + 1)
+    off_times, on_times = [], []
+    baseline_events = baseline_answers = None
+    sample_report = None
+    # interleave off/on so drift (cache warmup, allocator state) hits
+    # both modes equally instead of biasing whichever runs second
+    for rep in range(reps):
+        off_report, off_s, off_events, off_answers = serve_once(
+            scenario, load, jobs, seed, traced=False
+        )
+        on_report, on_s, on_events, on_answers = serve_once(
+            scenario, load, jobs, seed, traced=True
+        )
+        off_times.append(off_s)
+        on_times.append(on_s)
+        # semantic invisibility, asserted every rep
+        assert off_events == on_events, (
+            f"rep {rep}: tracing changed the scheduler event trace"
+        )
+        assert off_answers == on_answers, (
+            f"rep {rep}: tracing changed an answer"
+        )
+        if baseline_events is None:
+            baseline_events = off_events
+            baseline_answers = off_answers
+        else:
+            assert off_events == baseline_events, (
+                f"rep {rep}: serving run is not rep-deterministic"
+            )
+        sample_report = on_report
+    ratio = min(on_times) / max(1e-9, min(off_times))
+    return scenario, sample_report, off_times, on_times, ratio
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer reps/jobs for CI's perf-smoke job")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--reps", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    jobs = QUICK_JOBS if args.quick else JOBS
+    reps = args.reps or (QUICK_REPS if args.quick else REPS)
+    scenario, report, off_times, on_times, ratio = run(args.seed, jobs, reps)
+
+    rows = [
+        ("off", len(off_times), min(off_times) * 1000,
+         sum(off_times) / len(off_times) * 1000),
+        ("on", len(on_times), min(on_times) * 1000,
+         sum(on_times) / len(on_times) * 1000),
+    ]
+    emit(
+        BENCH_ID,
+        f"tracing overhead, {jobs} jobs x {reps} interleaved reps over "
+        f"{scenario.describe()}",
+        format_table(["tracing", "reps", "min ms", "mean ms"], rows),
+    )
+
+    # the representative traced run: span counts and the fleet's
+    # critical-path split, plus the Perfetto artifact CI uploads
+    trace = report.trace
+    path = analyze(trace)
+    spans = sum(1 for _ in trace.spans())
+    sample = os.path.join(RESULTS_DIR, "o1_sample.perfetto.json")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    write_chrome_trace(trace, sample)
+
+    payload = {
+        "bench": BENCH_ID,
+        "seed": args.seed,
+        "jobs": jobs,
+        "reps": reps,
+        "scenario": scenario.describe(),
+        "tracing_overhead_ratio": round(ratio, 4),
+        "untraced_min_ms": round(min(off_times) * 1000, 3),
+        "traced_min_ms": round(min(on_times) * 1000, 3),
+        "spans_recorded": spans,
+        "bottleneck_resource": path.bottleneck,
+        "identical_events_and_answers": True,  # asserted per rep in run()
+        "sample_trace": os.path.basename(sample),
+    }
+    emit_json(JSON_NAME, payload, quick=args.quick)
+
+    print(
+        f"\ntracing overhead x{ratio:.3f} "
+        f"(untraced {min(off_times) * 1000:.1f}ms, "
+        f"traced {min(on_times) * 1000:.1f}ms; {spans} spans, "
+        f"bottleneck: {path.bottleneck})"
+    )
+    print(f"sample Perfetto trace -> {sample}")
+
+    if ratio > MAX_OVERHEAD_RATIO:
+        print(
+            f"FAIL: tracing overhead x{ratio:.3f} exceeds the "
+            f"x{MAX_OVERHEAD_RATIO:.2f} gate"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

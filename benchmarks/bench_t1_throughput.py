@@ -81,7 +81,8 @@ def run_sweep(seed: int, jobs: int):
         rows.append((
             concurrency, metrics.jobs, metrics.makespan * 1000,
             metrics.queries_per_sec, metrics.latency_p50 * 1000,
-            metrics.latency_p95 * 1000, mean_util * 100, seconds * 1000,
+            metrics.latency_p95 * 1000, metrics.latency_p99 * 1000,
+            mean_util * 100, seconds * 1000,
         ))
         levels[concurrency] = {
             "jobs": metrics.jobs,
@@ -89,6 +90,7 @@ def run_sweep(seed: int, jobs: int):
             "queries_per_sec": round(metrics.queries_per_sec, 2),
             "latency_p50_ms": round(metrics.latency_p50 * 1000, 3),
             "latency_p95_ms": round(metrics.latency_p95 * 1000, 3),
+            "latency_p99_ms": round(metrics.latency_p99 * 1000, 3),
             "mean_utilization": round(mean_util, 4),
             "wall_seconds": round(seconds, 4),
         }
@@ -124,7 +126,7 @@ def main(argv=None) -> int:
         f"serving throughput, closed loop over {scenario.describe()}",
         format_table(
             ["conc", "jobs", "makespan ms", "qps", "p50 ms", "p95 ms",
-             "util %", "wall ms"],
+             "p99 ms", "util %", "wall ms"],
             rows,
         ),
     )

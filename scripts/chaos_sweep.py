@@ -68,6 +68,11 @@ def main(argv=None) -> int:
                         help="peer crash/rejoin cycles per fault plan")
     parser.add_argument("--hangs", type=int, default=1,
                         help="service-hang windows per fault plan")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="additionally serve the first (scenario, fault "
+                             "seed) cell with span tracing on and write the "
+                             "trace to FILE (JSON-lines; inspect with "
+                             "scripts/trace_view.py)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print every per-job verdict, not just violations")
     args = parser.parse_args(argv)
@@ -107,6 +112,33 @@ def main(argv=None) -> int:
     shown = report.results if args.verbose else report.violations
     for result in shown:
         print(f"  {result.describe()}")
+
+    if args.trace is not None:
+        # one extra traced serving run of the first sweep cell: span
+        # trees for every job (retry backoffs, stalls, fault windows
+        # included), written as JSON-lines for scripts/trace_view.py
+        from repro.engine.jobs import JobRequest
+        from repro.faults import FaultActor, FaultPlan
+        from repro.obs import Tracer, write_jsonl
+        from repro.session import Session
+
+        scenario = scenarios[0]
+        plan = FaultPlan.generate(args.fault_seeds[0], scenario.system, spec)
+        tracer = Tracer()
+        session = Session(
+            scenario.system, strategy=args.strategies[0],
+            retry=retry, fault_plan=plan, trace=tracer,
+        )
+        traced = session.serve(
+            [JobRequest(arrival=i * 0.01, partial=True,
+                        deadline=args.deadline, **q.kwargs())
+             for i, q in enumerate(scenario.queries)],
+            actor=FaultActor(plan),
+        )
+        write_jsonl(traced.trace, args.trace)
+        print(f"\ntrace: {len(traced.trace.jobs)} job span trees "
+              f"(scenario seed {args.seeds[0]}, fault seed "
+              f"{args.fault_seeds[0]}) -> {args.trace}")
     if not report.ok:
         print(f"\nFAIL: {len(report.violations)} fault-invariant violations")
         return 1

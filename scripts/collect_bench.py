@@ -42,6 +42,7 @@ HEADLINES = {
     "BENCH_placement": ("adaptive_vs_static_qps_ratio", "higher"),
     "BENCH_writes": ("incremental_vs_rebuild_speedup", "higher"),
     "BENCH_resilience": ("availability_under_faults", "higher"),
+    "BENCH_observe": ("tracing_overhead_ratio", "lower"),
 }
 
 #: Rolling per-bench history: how many ``{sha, date, headline}`` points a

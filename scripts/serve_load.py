@@ -57,6 +57,10 @@ def main(argv=None) -> int:
                         help="pick policy for @any replicas")
     parser.add_argument("--engine-seed", type=int, default=0,
                         help="scheduler tie-breaking seed")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record a virtual-clock span trace of the run "
+                             "to FILE (JSON-lines; inspect with "
+                             "scripts/trace_view.py)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="also print per-job lines and the event trace")
     args = parser.parse_args(argv)
@@ -72,7 +76,12 @@ def main(argv=None) -> int:
     )
     scenario = ScenarioGenerator(seed=args.seed, spec=spec).scenario(args.index)
     load = LoadGenerator(scenario, seed=args.seed + 1)
-    session = Session(scenario.system, strategy=args.strategy)
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    session = Session(scenario.system, strategy=args.strategy, trace=tracer)
 
     print(scenario.describe())
     if args.concurrency is not None:
@@ -88,6 +97,13 @@ def main(argv=None) -> int:
             load.open_loop(args.jobs, args.rate),
             seed=args.engine_seed, admission=args.admission,
         )
+
+    if args.trace is not None:
+        from repro.obs import write_jsonl
+
+        write_jsonl(report.trace, args.trace)
+        print(f"trace: {len(report.trace.jobs)} job span trees -> "
+              f"{args.trace} (view: python scripts/trace_view.py {args.trace})")
 
     print()
     if args.verbose:

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Inspect a recorded span trace: summary, critical path, Perfetto export.
+
+Reads the JSON-lines trace written by ``serve_load.py --trace`` /
+``chaos_sweep.py --trace`` (or :func:`repro.obs.write_jsonl`) and prints
+a per-job summary table plus each job's critical-path decomposition —
+latency split into exclusive cpu / link / backoff / stall / queue
+segments that sum exactly to the measured latency, with the run's
+bottleneck resource named at the bottom.
+
+Examples:
+
+    # record, then inspect
+    python scripts/serve_load.py --seed 7 --jobs 16 --concurrency 4 \\
+        --trace run.jsonl
+    python scripts/trace_view.py run.jsonl
+
+    # full span trees for one job
+    python scripts/trace_view.py run.jsonl --job job-3 -v
+
+    # convert to Chrome-trace JSON and open it in https://ui.perfetto.dev
+    python scripts/trace_view.py run.jsonl --export run.perfetto.json
+
+Run:  python scripts/trace_view.py --help
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs import (  # noqa: E402
+    SEGMENTS,
+    analyze,
+    load_trace,
+    write_chrome_trace,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSON-lines trace file "
+                        "(from serve_load.py/chaos_sweep.py --trace)")
+    parser.add_argument("--job", default=None,
+                        help="limit the view to one job by name")
+    parser.add_argument("--export", metavar="FILE", default=None,
+                        help="also write Chrome-trace-event JSON to FILE "
+                             "(drop it into https://ui.perfetto.dev)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print the full span tree per job")
+    args = parser.parse_args(argv)
+
+    trace = load_trace(args.trace)
+    if not trace.jobs and not trace.run:
+        print(f"{args.trace}: empty trace")
+        return 1
+    if args.job is not None:
+        try:
+            trace.job(args.job)
+        except KeyError as exc:
+            print(exc.args[0])
+            return 1
+
+    path = analyze(trace)
+    jobs = (
+        path.jobs if args.job is None
+        else [p for p in path.jobs if p.job == args.job]
+    )
+
+    # -- summary table -----------------------------------------------------------
+    name_width = max([len(p.job) for p in jobs] + [4])
+    header = (f"{'job':<{name_width}}  {'latency ms':>10}  "
+              + "  ".join(f"{cat:>9}" for cat in SEGMENTS)
+              + "  bottleneck")
+    print(header)
+    print("-" * len(header))
+    for p in jobs:
+        cells = "  ".join(
+            f"{p.segments.get(cat, 0.0) * 1000:9.3f}" for cat in SEGMENTS
+        )
+        print(f"{p.job:<{name_width}}  {p.latency * 1000:10.3f}  "
+              f"{cells}  {p.bottleneck}")
+
+    # -- critical path -----------------------------------------------------------
+    print("\ncritical path:")
+    for p in jobs:
+        print(f"  {p.describe()}")
+    if args.job is None:
+        totals = path.totals
+        total_latency = sum(p.latency for p in path.jobs) or 1.0
+        shares = ", ".join(
+            f"{cat} {totals[cat] / total_latency:.0%}"
+            for cat in SEGMENTS if totals.get(cat, 0.0) > 0
+        )
+        print(f"  fleet: {shares}  -> bottleneck resource: {path.bottleneck}")
+    if trace.run:
+        print(f"\nrun-level spans: {len(trace.run)} "
+              "(fault windows, placement actions)")
+        if args.verbose:
+            for span in trace.run:
+                print("  " + span.describe())
+
+    if args.verbose:
+        print("\nspan trees:")
+        roots = (
+            trace.jobs.values() if args.job is None
+            else [trace.job(args.job)]
+        )
+        for root in roots:
+            print(root.describe(indent=1))
+
+    if args.export is not None:
+        write_chrome_trace(trace, args.export)
+        print(f"\nexported Chrome-trace JSON -> {args.export} "
+              "(open in https://ui.perfetto.dev)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,6 +124,8 @@ class ExpressionEvaluator:
         system: AXMLSystem,
         pick_policy: Optional[PickPolicy] = None,
         recovery: Optional[RetryPolicy] = None,
+        tracer=None,
+        profiler=None,
     ) -> None:
         self.system = system
         self.pick_policy = pick_policy
@@ -132,6 +134,13 @@ class ExpressionEvaluator:
         #: first occurrence — the exact historical code path when no fault
         #: state is installed on the network either.
         self.recovery = recovery
+        #: Optional :class:`repro.obs.Tracer` — purely observational; every
+        #: instrumentation point below is a single ``is None`` check when
+        #: unset, and recording never consults the RNG or the clock.
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.WallProfiler` timing the wall-clock
+        #: cost of serialization on the hot path.
+        self.profiler = profiler
         self._deploy_counter = 0
         self._install_counter = 0
         # per-job recovery context (reset by begin_job)
@@ -175,6 +184,10 @@ class ExpressionEvaluator:
         ready = faults.stall_until(peer_id, at)
         if ready > at:
             self._count("stall_waits")
+            if self.tracer is not None:
+                self.tracer.record(
+                    f"stall {peer_id}", "stall", at, ready, peer=peer_id
+                )
         return ready
 
     def _deliver(self, message: Message, ready_at: float) -> float:
@@ -212,6 +225,14 @@ class ExpressionEvaluator:
                     ) from exc
                 self.job_retries += 1
                 self._count("retries")
+                if self.tracer is not None:
+                    self.tracer.record(
+                        f"backoff {key}",
+                        "backoff",
+                        exc.at,
+                        retry_at,
+                        attempt=attempt + 1,
+                    )
                 clock = retry_at
         raise TransferTimeoutError(
             f"transfer {key} failed {policy.max_attempts} attempts "
@@ -560,7 +581,12 @@ class ExpressionEvaluator:
 
         peer = self.system.peer(at)
         latest = self._stalled(at, latest)
+        busy_before = peer.busy_until
         result, done = peer.evaluate(query, arg_values, latest)
+        if self.tracer is not None:
+            self.tracer.cpu(
+                at, f"apply {query.name or 'query'}", latest, busy_before, done
+            )
         outcome.items = _as_forest(result)
         outcome.completed_at = done
         return outcome
@@ -633,7 +659,7 @@ class ExpressionEvaluator:
             param_values.extend(sub.items)
 
         # ship parameters to the provider (one CALL message)
-        payload = "".join(serialize(p) for p in param_values)
+        payload = self._serialize_forest(param_values)
         call_message = Message(
             src=at,
             dst=provider_id,
@@ -657,7 +683,16 @@ class ExpressionEvaluator:
                 f"service {service_name!r} on {provider_id!r} raised "
                 f"{type(exc).__name__}: {exc}"
             ) from exc
+        busy_before = provider.busy_until
         done = provider.charge(service.work_units(param_values), arrival)
+        if self.tracer is not None:
+            self.tracer.cpu(
+                provider_id,
+                f"service {service_name}",
+                arrival,
+                busy_before,
+                done,
+            )
 
         # responses may embed further service calls — activate them at the
         # provider before shipping (the response must be a data tree).
@@ -694,7 +729,7 @@ class ExpressionEvaluator:
                 src=provider_id,
                 dst=at,
                 kind=MessageKind.RESULT,
-                payload=serialize(response),
+                payload=self._serialize_forest((response,)),
             )
             last = max(last, self._deliver(message, done))
         outcome.items = settled
@@ -736,11 +771,29 @@ class ExpressionEvaluator:
                 if policy is None or arrival + policy.timeout("call") >= verdict.end:
                     # wait out the window: slow, bounded, still correct
                     faults.count("calls_hung")
+                    if self.tracer is not None:
+                        self.tracer.record(
+                            f"hang {service_name}@{provider_id}",
+                            "stall",
+                            arrival,
+                            verdict.end,
+                            peer=provider_id,
+                            service=service_name,
+                        )
                     return verdict.end
                 # cancel the hung call at its timeout budget, then retry
                 failure_at = arrival + policy.timeout("call")
                 detail = "hung (cancelled at timeout)"
                 faults.count("calls_cancelled")
+                if self.tracer is not None:
+                    self.tracer.record(
+                        f"hang-cancel {service_name}@{provider_id}",
+                        "stall",
+                        arrival,
+                        failure_at,
+                        peer=provider_id,
+                        service=service_name,
+                    )
             else:
                 failure_at = arrival
                 detail = "failed"
@@ -768,6 +821,14 @@ class ExpressionEvaluator:
                 )
             self.job_retries += 1
             self._count("retries")
+            if self.tracer is not None:
+                self.tracer.record(
+                    f"backoff call:{service_name}@{provider_id}",
+                    "backoff",
+                    failure_at,
+                    retry_at,
+                    attempt=attempt,
+                )
             clock = retry_at
 
     # -- definitions (3), (4), (8): send -------------------------------------------------
@@ -796,7 +857,7 @@ class ExpressionEvaluator:
         clock = inner.completed_at
         relay_from = at
         # rule (12) relays: explicit intermediary stops, store-and-forward.
-        data = "".join(serialize(item) for item in inner.items)
+        data = self._serialize_forest(inner.items)
         for hop in expr.via:
             message = Message(
                 src=relay_from, dst=hop, kind=MessageKind.DATA, payload=data
@@ -908,6 +969,19 @@ class ExpressionEvaluator:
         return outcome
 
     # -- shared helpers -----------------------------------------------------------------
+    def _serialize_forest(self, items: Sequence[Element]) -> str:
+        """Serialize a forest, wall-timed when a profiler is installed.
+
+        Serialization dominates the wall cost of simulating large
+        transfers (the payload string exists only to be measured), which
+        is exactly what the raw-speed profiling needs attributed.
+        """
+        profiler = self.profiler
+        if profiler is None:
+            return "".join(serialize(item) for item in items)
+        with profiler.phase("serialize"):
+            return "".join(serialize(item) for item in items)
+
     def _ship_items(
         self, outcome: EvalOutcome, src: str, dst: str, ready_at: float
     ) -> EvalOutcome:
@@ -928,7 +1002,7 @@ class ExpressionEvaluator:
             shipped = EvalOutcome(query=outcome.query, completed_at=arrival)
             shipped.merge_effects(outcome)
             return shipped
-        payload = "".join(serialize(item) for item in outcome.items)
+        payload = self._serialize_forest(outcome.items)
         message = Message(src=src, dst=dst, kind=MessageKind.DATA, payload=payload)
         arrival = self._deliver(message, ready_at)
         shipped = EvalOutcome(
@@ -950,7 +1024,7 @@ class ExpressionEvaluator:
             src=src,
             dst=target.peer,
             kind=MessageKind.FORWARD,
-            payload=serialize(item),
+            payload=self._serialize_forest((item,)),
             headers={"target": str(target)},
         )
         arrival = self._deliver(message, ready_at)

@@ -46,6 +46,7 @@ class FleetMetrics:
     latency_mean: float = 0.0
     latency_p50: float = 0.0
     latency_p95: float = 0.0
+    latency_p99: float = 0.0
     latency_max: float = 0.0
     #: Mean virtual time jobs spent queueing before their site CPU freed.
     wait_mean: float = 0.0
@@ -62,6 +63,7 @@ class FleetMetrics:
             f"latency:     mean {self.latency_mean * 1000:.2f}ms  "
             f"p50 {self.latency_p50 * 1000:.2f}ms  "
             f"p95 {self.latency_p95 * 1000:.2f}ms  "
+            f"p99 {self.latency_p99 * 1000:.2f}ms  "
             f"max {self.latency_max * 1000:.2f}ms",
             f"queue wait:  mean {self.wait_mean * 1000:.2f}ms",
         ]
@@ -99,8 +101,20 @@ class ServingReport:
     #: Fault/recovery counters for the run (messages dropped, transfers
     #: corrupted, retries spent, parts lost, …) merged from the installed
     #: :class:`repro.faults.FaultState` and the evaluator; empty for a
-    #: fault-free run.
+    #: fault-free run.  Kept byte-identical for compatibility — the
+    #: structured view of the same counts lives on :attr:`registry`
+    #: (``registry.flatten("faults", "kind")`` rebuilds this dict).
     faults: Dict[str, int] = field(default_factory=dict)
+    #: Labeled metrics for the run (:class:`repro.obs.MetricsRegistry`):
+    #: fault counters, job latency histogram, per-peer utilization,
+    #: network totals by message kind, placement-action count.  Always
+    #: populated by the scheduler; supersedes :attr:`faults`/:attr:`actions`
+    #: as the structured surface.
+    registry: Optional[object] = None
+    #: Virtual-clock span trees (:class:`repro.obs.Trace`) when the
+    #: session had a :class:`repro.obs.Tracer` installed; ``None``
+    #: otherwise (tracing off is the zero-cost default).
+    trace: Optional[object] = None
 
     @property
     def reports(self) -> List[Optional["ExecutionReport"]]:
@@ -139,15 +153,21 @@ def summarize(
         1 for job in completed if getattr(job, "partial", None) is not None
     )
     metrics = FleetMetrics(jobs=len(completed), failed=failed, partials=partials)
+    # the makespan window spans *every* terminal job — a failed job still
+    # arrived, occupied resources, and settled (to its error) inside the
+    # run; excluding it shrank the window and inflated qps on faulted runs
+    terminal = [job for job in jobs if job.finished_at is not None]
+    if terminal:
+        first = min(job.arrival for job in terminal)
+        last = max(job.finished_at for job in terminal)
+        metrics.makespan = last - first
     if not completed:
         return metrics
-    first = min(job.arrival for job in completed)
-    last = max(job.finished_at for job in completed)
-    metrics.makespan = last - first
     latencies = [job.latency for job in completed]
     metrics.latency_mean = sum(latencies) / len(latencies)
     metrics.latency_p50 = percentile(latencies, 50)
     metrics.latency_p95 = percentile(latencies, 95)
+    metrics.latency_p99 = percentile(latencies, 99)
     metrics.latency_max = max(latencies)
     waits = [job.wait for job in completed]
     metrics.wait_mean = sum(waits) / len(waits)

@@ -42,6 +42,7 @@ import heapq
 import math
 from dataclasses import replace
 from random import Random
+from time import perf_counter as _perf_counter
 from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
 
 from ..core.evaluator import ExpressionEvaluator
@@ -155,6 +156,9 @@ class Scheduler:
         #: Serving Σ and the job being admitted (set during drain).
         self._target: Optional[AXMLSystem] = None
         self._current_job: Optional[QueryJob] = None
+        #: The session's tracer for the duration of a drain (``None`` when
+        #: tracing is off — every hook below is one ``is None`` check).
+        self._tracer = None
 
     @property
     def drained(self) -> bool:
@@ -213,10 +217,17 @@ class Scheduler:
         self._state = "running"
         target = self._serving_system()
         self._target = target
+        tracer = self.session.tracer
+        self._tracer = tracer
+        if tracer is not None:
+            tracer.reset()
+            target.network.tracer = tracer
         evaluator = ExpressionEvaluator(
             target,
             _ChargingPolicy(self.admission, self),
             recovery=self.session.retry,
+            tracer=tracer,
+            profiler=self.session.profiler,
         )
         self.session._install_faults(target)
         try:
@@ -227,6 +238,8 @@ class Scheduler:
                 # first admission — the first job may already hit a window
                 for note in self.actor.on_start(target) or ():
                     self.actions.append(f"0.000000000 {note}")
+                    if tracer is not None:
+                        tracer.run_span(note, "placement", 0.0, 0.0)
             if self.actor is not None and self._heap:
                 self._push(self.actor.interval, _TICK, None)
             while self._heap:
@@ -257,9 +270,21 @@ class Scheduler:
             faults.update(state.counters)
         for key, value in evaluator.counters.items():
             faults[key] = faults.get(key, 0) + value
-        return ServingReport(
+        metrics = summarize(self.jobs, busy)
+        if tracer is not None and state is not None:
+            # the scripted fault windows, as run-level spans next to the
+            # job trees (instants — crash/rejoin — render zero-width)
+            for event in state.plan.events:
+                tracer.run_span(
+                    f"fault {event.kind}",
+                    "fault",
+                    event.start,
+                    max(event.start, event.end),
+                    detail=event.describe(),
+                )
+        report = ServingReport(
             jobs=list(self.jobs),
-            metrics=summarize(self.jobs, busy),
+            metrics=metrics,
             network={
                 "bytes": stats.bytes,
                 "messages": stats.messages,
@@ -270,7 +295,41 @@ class Scheduler:
             events=list(self.events),
             actions=list(self.actions),
             faults=faults,
+            registry=self._build_registry(metrics, busy, stats, faults),
+            trace=tracer.trace() if tracer is not None else None,
         )
+        return report
+
+    def _build_registry(self, metrics, busy, stats, faults):
+        """Fold the run's counters into a labeled MetricsRegistry.
+
+        Pure dict/list work on values already computed — no RNG, no
+        clock; the registry is the structured successor of the ad-hoc
+        ``faults``/``actions`` dicts (which stay populated, byte-identical,
+        for compatibility: ``registry.flatten("faults", "kind")``
+        rebuilds ``report.faults`` exactly).
+        """
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for kind, value in faults.items():
+            registry.counter("faults", kind=kind).inc(value)
+        latency = registry.histogram("job_latency")
+        for job in self.jobs:
+            registry.counter("jobs", status=job.status).inc()
+            if job.status == DONE and job.finished_at is not None:
+                latency.observe(job.latency)
+        for kind, value in stats.by_kind.items():
+            registry.counter("network_messages", kind=kind).inc(value)
+        for kind, value in stats.bytes_by_kind.items():
+            registry.counter("network_bytes", kind=kind).inc(value)
+        for peer_id, seconds in busy.items():
+            registry.gauge("peer_busy_seconds", peer=peer_id).set(seconds)
+            registry.gauge("peer_utilization", peer=peer_id).set(
+                metrics.utilization.get(peer_id, 0.0)
+            )
+        registry.counter("placement_actions").inc(len(self.actions))
+        return registry
 
     def _serving_system(self) -> AXMLSystem:
         if self.session.isolate:
@@ -297,6 +356,8 @@ class Scheduler:
         notes = self.actor.on_tick(target, now)
         for note in notes:
             self.actions.append(f"{now:.9f} {note}")
+            if self._tracer is not None:
+                self._tracer.run_span(note, "placement", now, now)
         if notes and self.session.plan_cache is not None:
             self.session.plan_cache.clear()
         if self._heap:
@@ -318,16 +379,49 @@ class Scheduler:
         deadline_at = (
             now + request.deadline if request.deadline is not None else math.inf
         )
+        tracer = self._tracer
         self._current_job = job
         evaluator.begin_job(deadline_at=deadline_at, partial=request.partial)
+        if tracer is not None:
+            tracer.begin_job(job.name, job.arrival, site=request.at)
         try:
+            plan_wall = _perf_counter() if tracer is not None else 0.0
             report = self.session.plan_job(request)
+            if tracer is not None:
+                # planning burns wall time but zero virtual time: a
+                # zero-duration span at the admission instant, carrying
+                # the search stats (and the wall cost) as attributes
+                tracer.record(
+                    "plan",
+                    "plan",
+                    now,
+                    now,
+                    strategy=report.strategy,
+                    explored=report.explored,
+                    site=report.plan.site,
+                    cache_hits=(
+                        report.plan_cache.cost_hits + report.plan_cache.expand_hits
+                        if report.plan_cache is not None
+                        else 0
+                    ),
+                    wall_ms=(_perf_counter() - plan_wall) * 1000.0,
+                )
             job.peers = plan_peers(report.plan.expr, report.plan.site)
             for peer_id in job.peers:
                 target.peer(peer_id).enqueue_job()
             job.started_at = max(
                 now, target.peer(report.plan.site).busy_until
             )
+            if tracer is not None:
+                if job.started_at > now:
+                    tracer.record(
+                        "admission-queue",
+                        "queue",
+                        now,
+                        job.started_at,
+                        resource=f"cpu {report.plan.site}",
+                    )
+                tracer.push("eval", "eval", now)
             outcome = evaluator.eval(
                 report.plan.expr, report.plan.site, ready_at=now
             )
@@ -335,10 +429,17 @@ class Scheduler:
             job.status = FAILED
             job.error = exc
             job.finished_at = now
+            if tracer is not None:
+                tracer.pop(now)
+                tracer.end_job(
+                    now, status="failed", error=type(exc).__name__
+                )
             self._push(now, _COMPLETION, job)
             return
         finally:
             self._current_job = None
+        if tracer is not None:
+            tracer.pop(outcome.completed_at)
         losses = tuple(evaluator.losses)
         late = outcome.completed_at > deadline_at
         if late and not request.partial:
@@ -352,6 +453,10 @@ class Scheduler:
                 at=deadline_at,
             )
             job.finished_at = deadline_at
+            if tracer is not None:
+                tracer.end_job(
+                    deadline_at, status="failed", error="DeadlineExceededError"
+                )
             self._push(job.finished_at, _COMPLETION, job)
             return
         job.status = DONE
@@ -370,6 +475,13 @@ class Scheduler:
             report.partial = job.partial
             evaluator._count("partial_answers")
         job.report = report
+        if tracer is not None:
+            tracer.mark("settle", "mark", job.finished_at)
+            tracer.end_job(
+                job.finished_at,
+                status="done",
+                partial=job.partial is not None,
+            )
         self._push(job.finished_at, _COMPLETION, job)
 
     def _admit_write(self, job: QueryJob, now: float, target: AXMLSystem) -> None:
@@ -386,12 +498,19 @@ class Scheduler:
 
         request = job.request
         job.started_at = now
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.begin_job(job.name, job.arrival, write=True)
         try:
             result = DocumentWriter(target).apply(request.write, now=now)
         except ReproError as exc:
             job.status = FAILED
             job.error = exc
             job.finished_at = now
+            if tracer is not None:
+                tracer.end_job(
+                    now, status="failed", error=type(exc).__name__
+                )
             self._push(now, _COMPLETION, job)
             return
         job.write_result = result
@@ -400,6 +519,11 @@ class Scheduler:
             target.peer(peer_id).enqueue_job()
         job.status = DONE
         job.finished_at = max(now, result.settled_at)
+        if tracer is not None:
+            tracer.mark("settle", "mark", job.finished_at)
+            tracer.end_job(
+                job.finished_at, status="done", primary=result.primary
+            )
         self._push(job.finished_at, _COMPLETION, job)
 
     def _charge_pick(self, peer_id: str) -> None:

@@ -154,6 +154,11 @@ class Network:
         #: Installed :class:`repro.faults.FaultState`, or ``None`` for the
         #: exact historical fault-free behavior (the default).
         self.faults = None
+        #: Installed :class:`repro.obs.Tracer`, or ``None`` (the default)
+        #: for zero-cost delivery.  Purely observational: the tracer is
+        #: handed the instants :meth:`Link.schedule` already computed and
+        #: never feeds back into timing, routing, or fault decisions.
+        self.tracer = None
 
     # -- construction ---------------------------------------------------------
     def add_peer(self, peer_id: str) -> None:
@@ -262,16 +267,23 @@ class Network:
             return ready_at
         links = self.route(message.src, message.dst)
         faults = self.faults
+        tracer = self.tracer
         clock = ready_at
         corrupted = False
         for link in links:
             if faults is None:
-                _, clock = link.schedule(message.size, clock)
+                ready = clock
+                start, clock = link.schedule(message.size, clock)
+                if tracer is not None:
+                    tracer.hop(message, link, ready, start, clock)
                 continue
             slow = faults.degrade_factor(link.src, link.dst, clock)
             if slow > 1.0:
                 faults.count("hops_degraded")
+            ready = clock
             start, clock = link.schedule(message.size, clock, slow=slow)
+            if tracer is not None:
+                tracer.hop(message, link, ready, start, clock)
             verdict = faults.hop_verdict(link.src, link.dst, start)
             if verdict == "drop":
                 # the hop was charged (the bytes left the sender) but the
@@ -279,6 +291,13 @@ class Network:
                 # the would-be hop completion and may retry from there
                 faults.count("messages_dropped")
                 self.stats.record(message)
+                if tracer is not None:
+                    tracer.mark(
+                        f"lost {link.src}->{link.dst}",
+                        "fault",
+                        clock,
+                        kind=message.kind,
+                    )
                 raise MessageLostError(
                     f"message {message.src!r}->{message.dst!r} "
                     f"({message.kind}) lost on hop "
@@ -292,6 +311,13 @@ class Network:
             # check rejects the payload at arrival time
             faults.count("transfers_corrupted")
             self.stats.record(message)
+            if tracer is not None:
+                tracer.mark(
+                    f"corrupt {message.src}->{message.dst}",
+                    "fault",
+                    clock,
+                    kind=message.kind,
+                )
             raise TransferCorruptionError(
                 f"message {message.src!r}->{message.dst!r} "
                 f"({message.kind}) arrived corrupted "

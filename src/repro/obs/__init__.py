@@ -1,0 +1,79 @@
+"""Deterministic observability: tracing, metrics, critical paths, profiling.
+
+The package splits observation along the clock it observes:
+
+* :class:`Tracer` / :class:`Trace` / :class:`Span` — **virtual-clock**
+  span trees, one per served job (admission → plan → eval → settle)
+  plus run-level fault-window and placement spans.  Recording spends no
+  RNG and charges no virtual time; with no tracer installed every hook
+  is one ``is None`` check.
+* :class:`MetricsRegistry` — labeled counters/gauges/histograms; the
+  structured successor of the ad-hoc ``ServingReport.faults``/
+  ``actions`` dicts.
+* :func:`analyze` / :func:`decompose` — critical-path decomposition of
+  each job's latency into queue/link/cpu/backoff/stall segments that
+  sum exactly to the measured latency, naming the bottleneck resource.
+* :class:`WallProfiler` — **wall-clock** per-phase timers and opt-in
+  cProfile capture for the raw-speed roadmap work.
+* :func:`to_chrome_trace` / :func:`write_jsonl` / :func:`load_trace` —
+  Perfetto-loadable Chrome-trace JSON and round-trippable JSON-lines.
+"""
+
+from .critical_path import SEGMENTS, JobPath, RunPath, analyze, decompose
+from .export import (
+    load_trace,
+    to_chrome_trace,
+    to_jsonl_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import WallProfiler
+from .tracer import (
+    CAT_BACKOFF,
+    CAT_CPU,
+    CAT_EVAL,
+    CAT_FAULT,
+    CAT_JOB,
+    CAT_LINK,
+    CAT_MARK,
+    CAT_PLACEMENT,
+    CAT_PLAN,
+    CAT_QUEUE,
+    CAT_STALL,
+    Span,
+    Trace,
+    Tracer,
+)
+
+__all__ = [
+    "CAT_BACKOFF",
+    "CAT_CPU",
+    "CAT_EVAL",
+    "CAT_FAULT",
+    "CAT_JOB",
+    "CAT_LINK",
+    "CAT_MARK",
+    "CAT_PLACEMENT",
+    "CAT_PLAN",
+    "CAT_QUEUE",
+    "CAT_STALL",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JobPath",
+    "MetricsRegistry",
+    "RunPath",
+    "SEGMENTS",
+    "Span",
+    "Trace",
+    "Tracer",
+    "WallProfiler",
+    "analyze",
+    "decompose",
+    "load_trace",
+    "to_chrome_trace",
+    "to_jsonl_records",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,182 @@
+"""Critical-path latency decomposition: where a job's latency went.
+
+Every traced job owns a span tree whose leaves are *resource intervals*
+— link occupancy, CPU charges, retry backoffs, stalls, queue waits.
+:func:`decompose` partitions the job's whole ``[arrival, settle]``
+window into exclusive segments by sweeping those leaves: at each
+elementary interval the highest-priority active resource claims the
+time, so the segments are disjoint and **sum exactly to the job's
+measured latency** (the property the tests pin).
+
+Priority (``cpu > link > backoff > stall > queue``) encodes "blame real
+work before blame waiting": when a fan-out has one branch computing
+while another queues, the instant counts as compute.  Time covered by
+no leaf at all is ``other`` — scheduler bookkeeping and zero-cost local
+evaluation.
+
+:func:`analyze` folds a whole :class:`~repro.obs.tracer.Trace` into a
+:class:`RunPath` naming the run's bottleneck resource — the signal the
+raw-speed roadmap item needs to aim a rework at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .tracer import (
+    CAT_BACKOFF,
+    CAT_CPU,
+    CAT_LINK,
+    CAT_QUEUE,
+    CAT_STALL,
+    Span,
+    Trace,
+)
+
+__all__ = ["JobPath", "RunPath", "SEGMENTS", "analyze", "decompose"]
+
+#: Segment categories, in claim-priority order; ``other`` catches time
+#: covered by no resource leaf.
+SEGMENTS: Tuple[str, ...] = (
+    CAT_CPU,
+    CAT_LINK,
+    CAT_BACKOFF,
+    CAT_STALL,
+    CAT_QUEUE,
+    "other",
+)
+
+_RESOURCE_CATS = frozenset(SEGMENTS[:-1])
+
+
+@dataclass
+class JobPath:
+    """One job's latency decomposition."""
+
+    job: str
+    start: float
+    end: float
+    #: category -> exclusive virtual seconds; keys are :data:`SEGMENTS`.
+    segments: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+    @property
+    def total(self) -> float:
+        """Sum of all segments — equals :attr:`latency` by construction."""
+        return sum(self.segments.values())
+
+    @property
+    def bottleneck(self) -> str:
+        """The resource category claiming the most of this job's latency."""
+        best = "other"
+        best_value = -1.0
+        for cat in SEGMENTS:
+            value = self.segments.get(cat, 0.0)
+            if value > best_value:
+                best, best_value = cat, value
+        return best
+
+    def describe(self) -> str:
+        parts = []
+        for cat in SEGMENTS:
+            value = self.segments.get(cat, 0.0)
+            if value > 0:
+                share = value / self.latency if self.latency > 0 else 0.0
+                parts.append(f"{cat} {value * 1000:.3f}ms ({share:.0%})")
+        detail = ", ".join(parts) if parts else "instantaneous"
+        return (
+            f"{self.job}: latency {self.latency * 1000:.3f}ms = {detail}"
+            f"  -> bottleneck: {self.bottleneck}"
+        )
+
+
+@dataclass
+class RunPath:
+    """Whole-run decomposition: per-job paths plus fleet totals."""
+
+    jobs: List[JobPath] = field(default_factory=list)
+
+    @property
+    def totals(self) -> Dict[str, float]:
+        out = {cat: 0.0 for cat in SEGMENTS}
+        for path in self.jobs:
+            for cat, value in path.segments.items():
+                out[cat] = out.get(cat, 0.0) + value
+        return out
+
+    @property
+    def bottleneck(self) -> str:
+        """The resource dominating summed latency across every job."""
+        totals = self.totals
+        return max(SEGMENTS, key=lambda cat: totals.get(cat, 0.0))
+
+    def job(self, name: str) -> JobPath:
+        for path in self.jobs:
+            if path.job == name:
+                return path
+        raise KeyError(f"no decomposed job named {name!r}")
+
+    def describe(self) -> str:
+        lines = [path.describe() for path in self.jobs]
+        totals = self.totals
+        total_latency = sum(path.latency for path in self.jobs) or 1.0
+        summary = ", ".join(
+            f"{cat} {totals[cat] * 1000:.3f}ms "
+            f"({totals[cat] / total_latency:.0%})"
+            for cat in SEGMENTS
+            if totals.get(cat, 0.0) > 0
+        )
+        lines.append(
+            f"fleet: {summary or 'no latency recorded'}"
+            f"  -> bottleneck resource: {self.bottleneck}"
+        )
+        return "\n".join(lines)
+
+
+def decompose(root: Span) -> JobPath:
+    """Partition a job span's window into exclusive resource segments.
+
+    Leaves outside ``[root.start, root.end]`` are clipped; the returned
+    segments are disjoint and sum to ``root.end - root.start`` exactly
+    (up to float summation), which the property tests assert against the
+    job's measured latency.
+    """
+    lo, hi = root.start, root.end
+    intervals: List[Tuple[float, float, str]] = []
+    boundaries = {lo, hi}
+    for leaf in root.leaves():
+        if leaf.cat not in _RESOURCE_CATS:
+            continue
+        start = max(leaf.start, lo)
+        end = min(leaf.end, hi)
+        if end <= start:
+            continue
+        intervals.append((start, end, leaf.cat))
+        boundaries.add(start)
+        boundaries.add(end)
+    edges = sorted(boundaries)
+    segments = {cat: 0.0 for cat in SEGMENTS}
+    for left, right in zip(edges, edges[1:]):
+        width = right - left
+        if width <= 0:
+            continue
+        active = {
+            cat for start, end, cat in intervals
+            if start <= left and end >= right
+        }
+        for cat in SEGMENTS[:-1]:
+            if cat in active:
+                segments[cat] += width
+                break
+        else:
+            segments["other"] += width
+    return JobPath(job=root.name, start=lo, end=hi, segments=segments)
+
+
+def analyze(trace: Trace) -> RunPath:
+    """Decompose every traced job; returns the run-level picture."""
+    return RunPath(jobs=[decompose(root) for root in trace.jobs.values()])

@@ -1,0 +1,164 @@
+"""Trace exporters: Chrome-trace-event JSON (Perfetto) and JSON-lines.
+
+``to_chrome_trace`` renders a :class:`~repro.obs.tracer.Trace` as the
+Chrome trace-event format (the ``{"traceEvents": [...]}`` object form):
+complete (``"ph": "X"``) events with microsecond ``ts``/``dur`` on the
+virtual clock, one thread per job plus thread 0 for run-level spans,
+and metadata events naming them.  The output loads directly in
+https://ui.perfetto.dev (open → drop the file) — each job is a swim
+lane, each transfer hop / CPU charge / backoff window a block with its
+bytes and peers in the args pane.
+
+``write_jsonl`` / ``load_trace`` are the flat round-trippable form:
+one span per line with explicit ``id``/``parent`` links, which is what
+``scripts/trace_view.py`` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .tracer import CAT_JOB, Span, Trace
+
+__all__ = [
+    "load_trace",
+    "to_chrome_trace",
+    "to_jsonl_records",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: One virtual second rendered as this many trace-event microseconds.
+_US = 1_000_000.0
+
+
+def to_chrome_trace(trace: Trace) -> Dict[str, object]:
+    """The trace as a Chrome trace-event JSON object (Perfetto-loadable)."""
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro virtual clock"},
+        },
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "thread_name",
+            "args": {"name": "run (scheduler/placement/faults)"},
+        },
+    ]
+    for tid, (job_name, root) in enumerate(trace.jobs.items(), start=1):
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": job_name},
+            }
+        )
+        for span in root.walk():
+            events.append(_complete_event(span, tid))
+    for span in trace.run:
+        for sub in span.walk():
+            events.append(_complete_event(sub, 0))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _complete_event(span: Span, tid: int) -> dict:
+    args = {str(k): _jsonable(v) for k, v in span.attrs.items()}
+    return {
+        "ph": "X",
+        "pid": 1,
+        "tid": tid,
+        "name": span.name,
+        "cat": span.cat,
+        "ts": span.start * _US,
+        "dur": max(0.0, span.duration) * _US,
+        "args": args,
+    }
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_chrome_trace(trace: Trace, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(trace), handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+# -- JSON-lines round trip ---------------------------------------------------------
+def to_jsonl_records(trace: Trace) -> List[dict]:
+    """Flat records with ``id``/``parent`` links, pre-order per tree."""
+    records: List[dict] = []
+    counter = [0]
+
+    def emit(span: Span, parent: Optional[int], job: Optional[str]) -> None:
+        span_id = counter[0]
+        counter[0] += 1
+        records.append(
+            {
+                "id": span_id,
+                "parent": parent,
+                "job": job,
+                "name": span.name,
+                "cat": span.cat,
+                "start": span.start,
+                "end": span.end,
+                "attrs": {str(k): _jsonable(v) for k, v in span.attrs.items()},
+            }
+        )
+        for child in span.children:
+            emit(child, span_id, job)
+
+    for job_name, root in trace.jobs.items():
+        emit(root, None, job_name)
+    for span in trace.run:
+        emit(span, None, None)
+    return records
+
+
+def write_jsonl(trace: Trace, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in to_jsonl_records(trace):
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def load_trace(path: str) -> Trace:
+    """Rebuild a :class:`Trace` from a ``write_jsonl`` file."""
+    spans: Dict[int, Span] = {}
+    jobs: Dict[str, Span] = {}
+    run: List[Span] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            span = Span(
+                record["name"],
+                record["cat"],
+                record["start"],
+                record["end"],
+                attrs=dict(record.get("attrs") or {}),
+            )
+            spans[record["id"]] = span
+            parent = record.get("parent")
+            if parent is not None:
+                spans[parent].children.append(span)
+            elif span.cat == CAT_JOB and record.get("job"):
+                jobs[record["job"]] = span
+            else:
+                run.append(span)
+    return Trace(jobs=jobs, run=run)

@@ -135,6 +135,11 @@ class ExecutionReport:
     #: when the run executed with ``partial=True`` under faults and lost
     #: parts (or blew its deadline); ``None`` means complete and exact.
     partial: Optional[object] = None
+    #: Virtual-clock span tree (:class:`repro.obs.Trace`) recorded when
+    #: the session has a :class:`repro.obs.Tracer` installed; ``None``
+    #: otherwise.  (The rewrite-*search* trace lives on :attr:`trace`;
+    #: this is the *execution* trace.)
+    spans: Optional[object] = None
 
     @property
     def improvement(self) -> float:
@@ -250,7 +255,7 @@ class Session:
         *,
         strategy: Union[str, OptimizerStrategy] = "beam",
         verify: bool = False,
-        trace: bool = False,
+        trace=None,
         rules: Sequence[RewriteRule] = DEFAULT_RULES,
         cost_fn=None,
         pick_policy=None,
@@ -259,11 +264,28 @@ class Session:
         plan_cache: Union[PlanCache, None, str] = "auto",
         retry=None,
         fault_plan=None,
+        profiler=None,
     ) -> None:
         self.system = system
         self.strategy = make_strategy(strategy, **dict(strategy_options or {}))
         self.verify = verify
-        self.trace = trace
+        # ``trace`` is overloaded for compatibility: a bool keeps the
+        # legacy meaning (record the rewrite-search trace on reports),
+        # while a :class:`repro.obs.Tracer` instance turns on virtual-
+        # clock span recording for executions and serving runs.  The
+        # default ``None`` records neither — the zero-cost path.
+        if isinstance(trace, bool) or trace is None:
+            self.trace = bool(trace)
+            self.tracer = None
+        else:
+            self.trace = False
+            #: Installed :class:`repro.obs.Tracer`; executions and drains
+            #: reset and fill it, surfacing the result on
+            #: :attr:`ExecutionReport.spans` / ``ServingReport.trace``.
+            self.tracer = trace
+        #: Optional :class:`repro.obs.WallProfiler` timing the pipeline's
+        #: wall-clock phases (parse / optimize / evaluate / serialize).
+        self.profiler = profiler
         self.pick_policy = pick_policy
         self.isolate = isolate
         #: Recovery policy (:class:`repro.faults.RetryPolicy`) wired into
@@ -321,6 +343,9 @@ class Session:
         """Parse XQuery text into a :class:`Query` (idempotent on queries)."""
         if isinstance(source, Query):
             return source
+        if self.profiler is not None:
+            with self.profiler.phase("parse"):
+                return Query(source, params=params, name=name)
         return Query(source, params=params, name=name)
 
     def plan(
@@ -705,6 +730,12 @@ class Session:
             return None
 
     def _optimize(self, plan: Plan, optimize: bool) -> OptimizationResult:
+        if self.profiler is not None:
+            with self.profiler.phase("optimize"):
+                return self._optimize_inner(plan, optimize)
+        return self._optimize_inner(plan, optimize)
+
+    def _optimize_inner(self, plan: Plan, optimize: bool) -> OptimizationResult:
         if not optimize:
             space = self.optimizer.search_space()
             cost = space.score_original(plan)
@@ -787,12 +818,46 @@ class Session:
             target = self.system
             target.reset()
         self._install_faults(target)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.reset()
+            target.network.tracer = tracer
         evaluator = ExpressionEvaluator(
-            target, self.pick_policy, recovery=self.retry
+            target,
+            self.pick_policy,
+            recovery=self.retry,
+            tracer=tracer,
+            profiler=self.profiler,
         )
         deadline_at = deadline if deadline is not None else _math.inf
         evaluator.begin_job(deadline_at=deadline_at, partial=partial)
-        outcome: EvalOutcome = evaluator.eval(report.plan.expr, report.plan.site)
+        if tracer is not None:
+            tracer.begin_job(
+                report.name or "query",
+                0.0,
+                site=report.plan.site,
+                strategy=report.strategy,
+                explored=report.explored,
+            )
+            tracer.push("eval", "eval", 0.0)
+        try:
+            if self.profiler is not None:
+                with self.profiler.phase("evaluate"):
+                    outcome: EvalOutcome = evaluator.eval(
+                        report.plan.expr, report.plan.site
+                    )
+            else:
+                outcome = evaluator.eval(report.plan.expr, report.plan.site)
+        except BaseException:
+            if tracer is not None:
+                tracer.pop(target.clock)
+                tracer.end_job(target.clock, status="failed")
+            raise
+        if tracer is not None:
+            tracer.pop(outcome.completed_at)
+            tracer.mark("settle", "mark", outcome.completed_at)
+            tracer.end_job(outcome.completed_at, status="done")
+            report.spans = tracer.trace()
         if outcome.completed_at > deadline_at and not partial:
             from .errors import DeadlineExceededError
 
