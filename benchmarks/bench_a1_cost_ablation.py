@@ -57,8 +57,8 @@ def run_sweep():
         ("estimator time-only", CostEstimator(system, stats, count_bytes=False)),
     ]
     rows = []
-    for name, cost_fn in drivers:
-        result = Optimizer(system, cost_fn=cost_fn).optimize(plan, depth=2, beam=8)
+    for name, driver in drivers:
+        result = Optimizer(system, cost_model=driver).optimize(plan, depth=2, beam=8)
         judged = measure(result.best, system)  # judge by the oracle
         rows.append(
             (name, judged.bytes, judged.time * 1000, judged.scalar() * 1000)

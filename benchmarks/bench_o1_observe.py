@@ -59,7 +59,7 @@ CONCURRENCY = 4
 def serve_once(scenario, load, jobs, seed, traced):
     """One serving run; returns (report, wall seconds, events, answers)."""
     tracer = Tracer() if traced else None
-    session = Session(scenario.system, trace=tracer)
+    session = Session(scenario.system, tracer=tracer)
     feed = load.closed_loop(jobs, CONCURRENCY)
     report, seconds = timed_run(lambda: session.serve(feed=feed, seed=seed))
     answers = tuple(

@@ -4,10 +4,14 @@
 For each rule (10)-(16) this builds the smallest system exhibiting it,
 shows the naive plan, every rewrite the rule proposes, the measured cost
 of each, and the machine-checked equivalence verdict — the executable
-version of the paper's rule catalogue.
+version of the paper's rule catalogue.  A closing section runs one plan
+through all three registered cost models (oracle / analytic / hybrid)
+to show that pricing changes the speed of the search, not its outcome.
 
 Run:  python examples/optimizer_tour.py
 """
+
+import time
 
 from repro import Session
 from repro.core import (
@@ -159,6 +163,24 @@ def main():
         "client",
     )
     show(PushQueryOverCall(), plan16, system)
+
+    # cost models: same search, three ways of pricing candidates -----------------
+    print("\n=== cost models (oracle / analytic / hybrid) ===")
+    for mode in ("oracle", "analytic", "hybrid"):
+        system = fresh_system()
+        session = Session(system, cost_model=mode)
+        started = time.perf_counter()
+        report = session.explain(plan10)
+        wall = (time.perf_counter() - started) * 1000
+        print(
+            f"  {mode:9s} best {report.best_cost.describe():32s} "
+            f"plan {report.plan.describe()}  ({wall:.1f}ms wall)"
+        )
+    print(
+        "  (analytic prices candidates from sampled catalog statistics,\n"
+        "   hybrid oracle-checks only the chosen plan — same best plan,\n"
+        "   a fraction of the search wall time)"
+    )
 
 
 if __name__ == "__main__":

@@ -127,7 +127,7 @@ def main(argv=None) -> int:
         tracer = Tracer()
         session = Session(
             scenario.system, strategy=args.strategies[0],
-            retry=retry, fault_plan=plan, trace=tracer,
+            retry=retry, fault_plan=plan, tracer=tracer,
         )
         traced = session.serve(
             [JobRequest(arrival=i * 0.01, partial=True,

@@ -81,7 +81,7 @@ def main(argv=None) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
-    session = Session(scenario.system, strategy=args.strategy, trace=tracer)
+    session = Session(scenario.system, strategy=args.strategy, tracer=tracer)
 
     print(scenario.describe())
     if args.concurrency is not None:

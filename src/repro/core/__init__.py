@@ -25,6 +25,16 @@ True
 """
 
 from .cost import Cost, CostEstimator, Statistics, measure
+from .costmodel import (
+    AnalyticCostModel,
+    CallableCostModel,
+    CostModel,
+    HybridCostModel,
+    OracleCostModel,
+    available_cost_models,
+    make_cost_model,
+    register_cost_model,
+)
 from .evaluator import EvalOutcome, ExpressionEvaluator
 from .expressions import (
     ANY,
@@ -94,6 +104,10 @@ __all__ = [
     # cost / optimizer
     "Cost", "Statistics", "CostEstimator", "measure",
     "Optimizer", "OptimizationResult",
+    # cost models
+    "CostModel", "OracleCostModel", "AnalyticCostModel", "HybridCostModel",
+    "CallableCostModel", "register_cost_model", "available_cost_models",
+    "make_cost_model",
     # plan-space memoization
     "PlanCache", "CacheStats", "plan_fingerprint",
     # strategies

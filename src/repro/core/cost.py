@@ -22,10 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from ..peers.service import DeclarativeService
+from ..axml.document import ANY_PROVIDER, ServiceCall
+from ..errors import FragmentUnavailableError
+from ..peers.service import DeclarativeService, _doc_references
 from ..peers.system import AXMLSystem
-from ..xmlcore.model import tree_size
-from .evaluator import ExpressionEvaluator
+from ..xmlcore.model import Element, iter_elements, tree_size
+from ..xmlcore.serializer import serialize
+from .evaluator import ExpressionEvaluator, _as_forest
 from .planspace import PlanCache, doc_epoch_signature
 from .expressions import (
     ANY,
@@ -112,6 +115,34 @@ class Statistics:
         )
 
 
+class _UnsampledCall(Exception):
+    """Internal: an embedded call had no invocation sample to graft."""
+
+
+def _payload_digest(payloads: Tuple) -> int:
+    """Process-local content digest of a call's parameter forest."""
+    return hash("".join(serialize(p) for p in payloads))
+
+
+def _static_payloads(params) -> Optional[Tuple]:
+    """Parameter trees when every param is a literal (else ``None``).
+
+    Only statically-known parameter values can be sampled; anything
+    computed (doc reads, nested calls) falls back to the statistics
+    table.  Literals holding unactivated ``sc`` nodes are excluded too —
+    their evaluation would fire the calls first.
+    """
+    trees = []
+    for param in params:
+        if not isinstance(param, TreeExpr):
+            return None
+        for node in iter_elements(param.tree):
+            if node.is_service_call() and node.get("activated") != "true":
+                return None
+        trees.append(param.tree)
+    return tuple(trees)
+
+
 def measure(plan: Plan, system: AXMLSystem, pick_policy=None) -> Cost:
     """Oracle cost: evaluate on a clone of Σ, return the real accounting."""
     twin = system.clone()
@@ -147,7 +178,7 @@ class CostEstimator:
 
     def __init__(self, system: AXMLSystem, statistics: Optional[Statistics] = None,
                  count_bytes: bool = True, count_time: bool = True,
-                 cache: Optional[PlanCache] = None) -> None:
+                 cache: Optional[PlanCache] = None, pick_policy=None) -> None:
         self.system = system
         self.statistics = statistics or Statistics()
         #: ablation switches (A1): ignore byte or time terms entirely.
@@ -155,6 +186,16 @@ class CostEstimator:
         self.count_time = count_time
         #: memo for subtree deltas / doc sizes / compiled plans (optional).
         self.cache = cache
+        #: generic references resolve through the *same* registry pick the
+        #: evaluator uses, so the estimated plan prices the copy that would
+        #: actually serve the read (ranking parity with the oracle).
+        self.pick_policy = pick_policy
+        #: instance-local sample memos used when no shared cache is
+        #: attached, so an uncached estimator still invokes each service
+        #: and query sample once instead of once per candidate plan
+        self._service_samples: Dict[Tuple, Tuple] = {}
+        self._doc_values: Dict[Tuple, object] = {}
+        self._apply_samples: Dict[Tuple, Tuple[int, int]] = {}
 
     # -- public -------------------------------------------------------------
     def estimate(self, plan: Plan) -> Cost:
@@ -165,6 +206,12 @@ class CostEstimator:
         # cache entries honest if they changed (count_bytes/count_time
         # need no salt — raw deltas are masked only at the very end)
         self._memo_salt = self.statistics.memo_token()
+        if self.pick_policy is not None:
+            # picks shape the estimate: estimators with different policies
+            # sharing one cache must not replay each other's deltas
+            self._memo_salt = self._memo_salt + (
+                type(self.pick_policy).__name__,
+            )
         epoch_sig = doc_epoch_signature(self.system, plan.expr)
         if epoch_sig:
             self._memo_salt = self._memo_salt + (epoch_sig,)
@@ -195,6 +242,29 @@ class CostEstimator:
         # ~1 work unit (tree node) per 32 serialized bytes, a rough census
         self._time += (work_bytes / 32.0) / peer.compute_speed
 
+    def _charge_batch(self, src: str, dst: str, sizes) -> None:
+        """``k`` back-to-back messages on one route (a response forest).
+
+        The link is a serial resource: transmission times add up while
+        propagation latency overlaps across the pipeline, so the batch
+        completes after one route latency plus the summed transmissions —
+        not after ``max`` of independent transfers.
+        """
+        if src == dst or not sizes:
+            return
+        try:
+            links = self.system.network.route(src, dst)
+        except Exception:
+            links = None
+        for size in sizes:
+            size += self.ENVELOPE
+            self._bytes += size
+            self._messages += 1
+            if links:
+                self._time += sum(size / l.bandwidth for l in links)
+        if links:
+            self._time += sum(l.latency for l in links)
+
     # -- sizes ------------------------------------------------------------------
     def _doc_bytes(self, name: str, home: str) -> int:
         # written documents key by epoch too, so a mutation orphans the
@@ -214,6 +284,345 @@ class CostEstimator:
         if self.cache is not None:
             self.cache.doc_sizes[key] = size
         return size
+
+    def _doc_calls(self, name: str, home: str) -> Tuple:
+        """Embedded service-call profiles of a stored document (memoized).
+
+        The evaluator *activates* a document on first read (definition
+        (6)): every embedded ``sc`` fires — params ship to the provider,
+        the provider computes, results ship back and replace the call
+        node.  An estimator blind to activation prices AXML documents as
+        inert trees and mis-ranks every plan that decides *where* the
+        activation traffic lands.  The profile is static per (document,
+        home, epoch): ``(provider, service, param payloads, param bytes,
+        sc-node bytes, forward peers, params digest)`` per call, resolved
+        and charged at estimate time.
+        """
+        epoch = self.system.doc_epoch(name)
+        key = (name, home) if not epoch else (name, home, epoch)
+        if self.cache is not None:
+            hit = self.cache.doc_profiles.get(key)
+            if hit is not None:
+                return hit
+        calls = []
+        peer = self.system.peer(home)
+        if peer.has_document(name):
+            stack = [peer.document(name)]
+            while stack:
+                node = stack.pop()
+                if not isinstance(node, Element):
+                    continue
+                if node.is_service_call():
+                    if node.get("activated") == "true":
+                        continue
+                    try:
+                        call = ServiceCall.parse(node)
+                    except Exception:
+                        continue  # malformed sc: the evaluator skips it too
+                    payloads = tuple(call.param_payloads())
+                    calls.append((
+                        call.provider,
+                        call.service,
+                        payloads,
+                        sum(p.serialized_size() for p in payloads),
+                        node.serialized_size(),
+                        tuple(
+                            getattr(t, "peer", home) for t in call.forwards
+                        ),
+                        _payload_digest(payloads),
+                    ))
+                    continue
+                stack.extend(node.children)
+        profile = tuple(calls)
+        if self.cache is not None:
+            self.cache.doc_profiles[key] = profile
+        return profile
+
+    def _sample_service(
+        self, provider: str, service_name: str, payloads: Tuple, digest: int
+    ) -> Tuple[Optional[int], Optional[Tuple[int, ...]], Optional[Tuple]]:
+        """One deterministic invocation sample: work, item bytes, items.
+
+        Declarative services are visible queries over Σ's stored
+        documents — side-effect free and deterministic — so invoking one
+        *once* per call site (memoized like a catalog statistic) prices
+        its exact compute work and response forest without simulating any
+        candidate plan.  Opaque native implementations are never sampled
+        (their bodies may have effects): work units are still exact (the
+        evaluator charges the same :meth:`Service.work_units`), but the
+        response sizes fall back to the statistics table.
+        """
+        memo = (
+            self.cache.service_samples
+            if self.cache is not None
+            else self._service_samples
+        )
+        key = (provider, service_name, digest) + self._service_epochs(
+            provider, service_name
+        )
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        work: Optional[int] = None
+        result_sizes: Optional[Tuple[int, ...]] = None
+        result_items: Optional[Tuple] = None
+        try:
+            peer = self.system.peer(provider)
+            service = peer.service(service_name)
+            work = service.work_units(list(payloads))
+            if getattr(service, "is_declarative", False):
+                invocations = getattr(service, "invocations", 0)
+                try:
+                    responses = service.invoke(list(payloads), peer)
+                    result_sizes = tuple(
+                        r.serialized_size() for r in responses
+                    )
+                    result_items = tuple(responses)
+                finally:
+                    service.invocations = invocations
+        except Exception:
+            pass  # unknown provider/service: statistics fallback
+        sample = (work, result_sizes, result_items)
+        memo[key] = sample
+        return sample
+
+    def _service_epochs(self, provider: str, service_name: str) -> Tuple:
+        """Epoch salt for the host documents a declarative service reads.
+
+        A written host document must orphan the stale invocation sample,
+        exactly like :attr:`PlanCache.doc_sizes` keys by epoch.  While
+        nothing has been written the salt is ``()`` and keys keep their
+        read-only shape.
+        """
+        epochs = getattr(self.system, "doc_epochs", None)
+        if not epochs:
+            return ()
+        try:
+            service = self.system.peer(provider).service(service_name)
+        except Exception:
+            return ()
+        if not isinstance(service, DeclarativeService):
+            return ()
+        return tuple(
+            epochs.get(ref, 0) for ref in _doc_references(service.query)
+        )
+
+    def _service_result_bytes(
+        self, provider: str, service_name: str, param_bytes: int
+    ) -> int:
+        """Result-size estimate for one service invocation at ``provider``."""
+        result_name = None
+        peer = self.system.peer(provider)
+        if peer.has_service(service_name):
+            service = peer.service(service_name)
+            if isinstance(service, DeclarativeService):
+                result_name = service.query.name or service_name
+        return self.statistics.query_output_bytes(
+            result_name, max(param_bytes, 1024)
+        )
+
+    def _charge_activation(self, name: str, home: str, size: int) -> int:
+        """Charge a document's embedded calls; returns the activated size.
+
+        Calls fire in parallel from the same instant at the document's
+        home (the evaluator's fixpoint evaluates sc children from one
+        ready time, completion = max); each non-forwarding call's result
+        replaces its sc node in the stored tree, so the size shipped
+        onward is the *activated* size, not the inert one.
+        """
+        calls = self._doc_calls(name, home)
+        if not calls:
+            return size
+        base = self._time
+        finished = base
+        for provider, service_name, payloads, param_bytes, \
+                node_bytes, forwards, digest in calls:
+            self._time = base
+            if provider == ANY_PROVIDER:
+                member = self.system.registry.pick_service(
+                    service_name, home, self.system, self.pick_policy
+                )
+                provider, service_name = member.peer, member.name
+            # the CALL message: param forest + the service-routing header
+            # (Message.size counts key + value + 4 framing bytes)
+            header = len("service") + len(service_name) + 4
+            self._charge_transfer(home, provider, param_bytes + header)
+            work, result_sizes, _ = self._sample_service(
+                provider, service_name, payloads, digest
+            )
+            if work is not None:
+                self._time += work / self.system.peer(provider).compute_speed
+            else:
+                self._charge_compute(provider, param_bytes)
+            if result_sizes is None:
+                result_sizes = (
+                    self._service_result_bytes(
+                        provider, service_name, param_bytes
+                    ),
+                )
+            size -= node_bytes
+            # every response item is its own RESULT message, pipelined on
+            # the provider->caller route (or provider->target for forwards)
+            if forwards:
+                sent_at = self._time
+                done = sent_at
+                for target in forwards:
+                    self._time = sent_at
+                    self._charge_batch(provider, target, result_sizes)
+                    done = max(done, self._time)
+                self._time = done
+            else:
+                self._charge_batch(provider, home, result_sizes)
+                size += sum(result_sizes)
+                if len(result_sizes) > 1:
+                    # multi-item responses re-root under a <results> wrapper
+                    size += Element("results").serialized_size()
+            finished = max(finished, self._time)
+        self._time = finished
+        return max(size, 1)
+
+    def _doc_value(self, name: str, home: str):
+        """``(activated value, memo token)`` of a stored doc, or ``None``.
+
+        The value a plan actually feeds to a query is the *activated*
+        document — embedded calls replaced by their responses.  Grafting
+        the sampled responses onto a copy of the stored tree materializes
+        that value once per (document, epoch, pick policy), giving
+        :meth:`_apply_sample` exact inputs without evaluating any plan.
+        """
+        epoch = self.system.doc_epoch(name)
+        key = (name, home) if not epoch else (name, home, epoch)
+        calls = self._doc_calls(name, home)
+        if any(c[0] == ANY_PROVIDER for c in calls):
+            # @any providers resolve through the pick policy: estimators
+            # with different policies must not share a materialization
+            tag = type(self.pick_policy).__name__ if self.pick_policy else ""
+            key = key + (tag,)
+        memo = (
+            self.cache.doc_values if self.cache is not None else self._doc_values
+        )
+        hit = memo.get(key)
+        if hit is not None:
+            return None if hit is False else (hit, key)
+        peer = self.system.peer(home)
+        if not peer.has_document(name):
+            memo[key] = False
+            return None
+        stored = peer.document(name)
+        if not calls:
+            # inert tree: the stored document IS the value (read-only use)
+            memo[key] = stored
+            return stored, key
+        try:
+            value = self._graft_activation(stored.copy(), home)
+        except Exception:
+            value = None
+        if value is None:
+            memo[key] = False
+            return None
+        memo[key] = value
+        return value, key
+
+    def _graft_activation(self, tree: Element, home: str) -> Optional[Element]:
+        """Mirror of the evaluator's ``_activate_tree`` on sampled data.
+
+        Replaces every embedded call with its sampled response forest (a
+        single item in place, several under a ``<results>`` wrapper,
+        nothing for explicit forward lists).  Returns ``None`` when any
+        call cannot be sampled — callers then skip materialization.
+        """
+        if tree.is_service_call():
+            if tree.get("activated") == "true":
+                return None
+            call = ServiceCall.parse(tree)
+            provider, service_name = call.provider, call.service
+            if provider == ANY_PROVIDER:
+                member = self.system.registry.pick_service(
+                    service_name, home, self.system, self.pick_policy
+                )
+                provider, service_name = member.peer, member.name
+            payloads = tuple(call.param_payloads())
+            _, _, items = self._sample_service(
+                provider, service_name, payloads, _payload_digest(payloads)
+            )
+            if items is None:
+                raise _UnsampledCall(service_name)
+            if call.forwards:
+                return None
+            if len(items) == 1:
+                return items[0].copy()
+            wrapper = Element("results")
+            for item in items:
+                wrapper.append(item.copy())
+            return wrapper
+        replacements = []
+        for child in list(tree.children):
+            if isinstance(child, Element):
+                evaluated = self._graft_activation(child, home)
+                if evaluated is not child:
+                    replacements.append((child, evaluated))
+        for old, new in replacements:
+            if new is None:
+                tree.remove(old)
+            else:
+                tree.replace_child(old, new)
+        return tree
+
+    def _materialize(self, expr: Expression, site: str):
+        """Static ``(value tree, memo token)`` of an argument, or ``None``."""
+        if isinstance(expr, TreeExpr):
+            for node in iter_elements(expr.tree):
+                if node.is_service_call() and node.get("activated") != "true":
+                    return None  # activation would fire on evaluation
+            return expr.tree, expression_fingerprint(expr)
+        if isinstance(expr, DocExpr):
+            return self._doc_value(expr.name, expr.home)
+        if isinstance(expr, GenericDoc):
+            member = self.system.registry.pick_document(
+                expr.name, site, self.system, self.pick_policy
+            )
+            return self._doc_value(member.name, member.peer)
+        return None
+
+    def _apply_sample(self, query, args, site: str) -> Optional[Tuple[int, int]]:
+        """``(result bytes, work units)`` of one query application, or None.
+
+        Queries are pure functions of their arguments (``doc()``-free
+        ones — the rest are site-dependent and skipped), so running one
+        *once* on the materialized argument values prices its exact
+        output and compute work; every candidate plan that moves the same
+        application between sites reuses the sample.
+        """
+        if _doc_references(query):
+            return None  # doc() resolves at the evaluation site
+        forests = []
+        tokens = []
+        for arg in args:
+            materialized = self._materialize(arg, site)
+            if materialized is None:
+                return None
+            value, token = materialized
+            forests.append([value])
+            tokens.append(token)
+        memo = (
+            self.cache.apply_samples
+            if self.cache is not None
+            else self._apply_samples
+        )
+        key = (query.source, tuple(tokens))
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        try:
+            result = query.run(*forests)
+        except Exception:
+            return None
+        items = _as_forest(result)
+        out_bytes = sum(item.serialized_size() for item in items)
+        work = 1 + sum(tree_size(value) for forest in forests for value in forest)
+        sample = (out_bytes, work)
+        memo[key] = sample
+        return sample
 
     def _plan_estimate(self, head: QueryRef, input_bytes: int) -> Optional[int]:
         """Selectivity from the compiled logical plan, when it compiles.
@@ -289,52 +698,101 @@ class CostEstimator:
             return size
         if isinstance(expr, DocExpr):
             size = self._doc_bytes(expr.name, expr.home)
+            # first read activates embedded calls at the home (def. (6));
+            # what ships onward is the activated document
+            size = self._charge_activation(expr.name, expr.home, size)
             self._charge_transfer(expr.home, site, size)
             return size
         if isinstance(expr, GenericDoc):
-            members = self.system.registry.document_members(expr.name)
-            if not members:
-                return 1024
-            # assume the pick policy finds the cheapest member
-            best = min(
-                members,
-                key=lambda m: 0.0 if m.peer == site else sum(
-                    l.latency for l in self.system.network.route(site, m.peer)
-                ),
+            # definition (9) exactly as the evaluator resolves it: the
+            # registry pick (FirstPolicy when none given) names the copy
+            # that will actually serve the read — estimating any other
+            # member would rank replica-reading plans differently than
+            # the oracle measures them
+            member = self.system.registry.pick_document(
+                expr.name, site, self.system, self.pick_policy
             )
-            return self._visit(DocExpr(best.name, best.peer), site)
+            return self._visit(DocExpr(member.name, member.peer), site)
         if isinstance(expr, FragmentedDoc):
             catalog = self.system.fragments
             if not catalog.is_fragmented(expr.name):
                 return 1024
+            # scatter-gather: every fragment is fetched from the same
+            # ready instant, so estimated completion is the max over
+            # fragments while traffic stays the sum; replicated fragments
+            # resolve through the generic registry like _eval_fragment
             total = 0
+            base = self._time
+            finished = base
             for fragment in catalog.fragments(expr.name):
-                size = self._doc_bytes(fragment.name, fragment.home)
-                self._charge_transfer(fragment.home, site, size)
-                total += size
+                live = [
+                    pid
+                    for pid in fragment.peers
+                    if pid in self.system.peers
+                    and self.system.peers[pid].alive
+                    and self.system.peers[pid].has_document(fragment.name)
+                ]
+                if not live:
+                    raise FragmentUnavailableError(
+                        fragment.name, fragment.peers
+                    )
+                self._time = base
+                if fragment.generic is not None:
+                    total += self._visit(GenericDoc(fragment.generic), site)
+                else:
+                    total += self._visit(DocExpr(fragment.name, live[0]), site)
+                finished = max(finished, self._time)
+            self._time = finished
             return total
         if isinstance(expr, Gather):
-            # time accumulates sequentially — an overestimate for the
-            # parallel fan-out, but monotone in the same quantities the
-            # oracle measures, which is all the search ordering needs
-            return sum(self._visit(part, site) for part in expr.parts)
+            # order-preserving union: parts evaluate in parallel from the
+            # same instant — completion is the slowest part, bytes the sum
+            total = 0
+            base = self._time
+            finished = base
+            for part in expr.parts:
+                self._time = base
+                total += self._visit(part, site)
+                finished = max(finished, self._time)
+            self._time = finished
+            return total
         if isinstance(expr, QueryRef):
             size = len(expr.query.source.encode("utf-8"))
             self._charge_transfer(expr.home, site, size)
             return size
         if isinstance(expr, QueryApply):
-            input_bytes = sum(self._visit(arg, site) for arg in expr.args)
+            # the query head resolves concurrently with the args: the
+            # evaluator ships the query text first, evaluates every arg
+            # from the same instant, and applies at max(query, args)
+            input_bytes = 0
+            base = self._time
+            finished = base
             name = None
             if isinstance(expr.query, QueryRef):
                 name = expr.query.query.name
                 self._charge_transfer(
                     expr.query.home, site, len(expr.query.query.source.encode())
                 )
-            self._charge_compute(site, input_bytes)
+                finished = max(finished, self._time)
+            for arg in expr.args:
+                self._time = base
+                input_bytes += self._visit(arg, site)
+                finished = max(finished, self._time)
+            self._time = finished
             known = (
                 name in self.statistics.selectivity
                 or name in self.statistics.result_bytes
             )
+            if not known and isinstance(expr.query, QueryRef):
+                # one application sample beats any selectivity guess:
+                # exact output bytes and exact work units, reused by every
+                # candidate plan that moves this apply between sites
+                sampled = self._apply_sample(expr.query.query, expr.args, site)
+                if sampled is not None:
+                    out_bytes, work = sampled
+                    self._time += work / self.system.peer(site).compute_speed
+                    return out_bytes
+            self._charge_compute(site, input_bytes)
             if not known and isinstance(expr.query, QueryRef):
                 plan_bytes = self._plan_estimate(expr.query, input_bytes)
                 if plan_bytes is not None:
@@ -342,26 +800,53 @@ class CostEstimator:
             return self.statistics.query_output_bytes(name, input_bytes)
         if isinstance(expr, ServiceCallExpr):
             provider = expr.provider
-            if provider == ANY:
-                members = self.system.registry.service_members(expr.service)
-                provider = members[0].peer if members else site
-            param_bytes = sum(self._visit(p, site) for p in expr.params)
-            self._charge_transfer(site, provider, param_bytes)
             service_name = expr.service
-            result_name = None
-            peer = self.system.peer(provider)
-            if peer.has_service(service_name):
-                service = peer.service(service_name)
-                if isinstance(service, DeclarativeService):
-                    result_name = service.query.name or service_name
-            self._charge_compute(provider, param_bytes)
-            out = self.statistics.query_output_bytes(result_name, max(param_bytes, 1024))
+            if provider == ANY:
+                # mirror the evaluator's registry pick (live members only,
+                # caller's policy) so @any calls price the actual provider
+                member = self.system.registry.pick_service(
+                    expr.service, site, self.system, self.pick_policy
+                )
+                provider, service_name = member.peer, member.name
+            # params evaluate in parallel, then ship together as one call
+            param_bytes = 0
+            base = self._time
+            finished = base
+            for p in expr.params:
+                self._time = base
+                param_bytes += self._visit(p, site)
+                finished = max(finished, self._time)
+            self._time = finished
+            header = len("service") + len(service_name) + 4
+            self._charge_transfer(site, provider, param_bytes + header)
+            work = None
+            result_sizes = None
+            payloads = _static_payloads(expr.params)
+            if payloads is not None:
+                work, result_sizes, _ = self._sample_service(
+                    provider, service_name, payloads, _payload_digest(payloads)
+                )
+            if work is not None:
+                self._time += work / self.system.peer(provider).compute_speed
+            else:
+                self._charge_compute(provider, param_bytes)
+            if result_sizes is None:
+                result_sizes = (
+                    self._service_result_bytes(
+                        provider, service_name, param_bytes
+                    ),
+                )
             if expr.forwards:
+                sent_at = self._time
+                done = sent_at
                 for target in expr.forwards:
-                    self._charge_transfer(provider, target.peer, out)
+                    self._time = sent_at
+                    self._charge_batch(provider, target.peer, result_sizes)
+                    done = max(done, self._time)
+                self._time = done
                 return 0
-            self._charge_transfer(provider, site, out)
-            return out
+            self._charge_batch(provider, site, result_sizes)
+            return sum(result_sizes)
         if isinstance(expr, Send):
             payload_bytes = self._visit(expr.payload, site)
             hops = [site] + list(expr.via)

@@ -1,0 +1,341 @@
+"""First-class cost models: ``oracle`` / ``analytic`` / ``hybrid``.
+
+The optimizer's search needs one number per candidate plan, and until
+now the only way to get it was a bare ``cost_fn`` lambda — in practice
+always :func:`~repro.core.cost.measure`, which *clone-and-simulates* Σ
+for every candidate.  Profiling (ROADMAP "raw speed") showed that this
+simulation is essentially the whole serving wall time: ~100% of the T1
+bench is plan search, and inside it the per-candidate oracle.
+
+This module redesigns the cost wiring as an API, mirroring the
+:class:`~repro.core.strategies.OptimizerStrategy` registry:
+
+* :class:`CostModel` — the protocol: ``score(plan) -> Cost`` ranks
+  candidates during the search; ``final_check`` marks models whose
+  chosen plan must be re-judged by the oracle after the search;
+* :class:`OracleCostModel` (``"oracle"``) — the historical exact model:
+  every score is a full clone-and-simulate.  Slow, perfectly informed;
+* :class:`AnalyticCostModel` (``"analytic"``) — System-R-style static
+  estimation from catalog statistics via
+  :class:`~repro.core.cost.CostEstimator`: document sizes from Σ,
+  fragment fan-outs from the catalog, replica resolution through the
+  *actual* pick policy, selectivities from a statistics table or the
+  compiled logical plan.  No simulation anywhere;
+* :class:`HybridCostModel` (``"hybrid"``) — scores the whole search
+  frontier analytically and oracle-checks only the final plan (plus the
+  original, so the reported costs and the improvement ratio stay
+  oracle-true, and the chosen plan is provably never worse than naive);
+* :class:`CallableCostModel` — the deprecation shim wrapping any bare
+  ``cost_fn`` callable as an anonymous model.
+
+Models are registered by name (:func:`register_cost_model`) so callers
+write ``Session(cost_model="hybrid")`` and third parties can plug in
+their own costing without touching the search code.
+
+Cache tokens
+------------
+
+A shared :class:`~repro.core.planspace.PlanCache` may serve several
+models over the same Σ (the differential harness does exactly this).
+Scores from different models must never be confused, so every model
+exposes a :meth:`~CostModel.cache_token`: the salt folded into the
+plan-cost memo key.  The oracle's token is ``""`` — its cache keys stay
+byte-identical to the historical layout — while the analytic model's
+token carries its statistics digest, so two estimators with different
+statistics sharing one cache never replay each other's entries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol, Union, runtime_checkable
+
+from ..errors import OptimizerError
+from ..peers.system import AXMLSystem
+from .cost import Cost, CostEstimator, Statistics, measure
+from .planspace import PlanCache
+from .rules import Plan
+
+__all__ = [
+    "CostModel",
+    "OracleCostModel",
+    "AnalyticCostModel",
+    "HybridCostModel",
+    "CallableCostModel",
+    "COST_MODELS",
+    "register_cost_model",
+    "available_cost_models",
+    "make_cost_model",
+]
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """One way of pricing a plan during (and after) the search.
+
+    ``score`` is the search-time ranking function — called once per
+    distinct candidate (memoized by the
+    :class:`~repro.core.strategies.SearchSpace` when a plan cache is
+    attached).  Models with ``final_check = True`` additionally expose
+    ``check(plan)``, the expensive exact judgment the optimizer applies
+    to the chosen plan only.
+    """
+
+    name: str
+
+    def score(self, plan: Plan) -> Cost:
+        """Search-time cost of ``plan`` (lower scalar is better)."""
+        ...
+
+
+class OracleCostModel:
+    """Exact measurement: clone Σ and actually evaluate every candidate.
+
+    The historical default.  Perfectly informed — the score *is* the
+    virtual completion time and real traffic — but each score costs a
+    full simulation, which dominates serving wall time (see ROADMAP).
+    """
+
+    name = "oracle"
+    #: The score is already exact; nothing to re-check after the search.
+    final_check = False
+
+    def __init__(
+        self,
+        system: AXMLSystem,
+        pick_policy=None,
+        statistics: Optional[Statistics] = None,
+        cache: Optional[PlanCache] = None,
+    ) -> None:
+        # statistics/cache are accepted for factory-signature uniformity;
+        # the oracle consults Σ itself and memoizes via the SearchSpace.
+        self.system = system
+        self.pick_policy = pick_policy
+
+    def score(self, plan: Plan) -> Cost:
+        return measure(plan, self.system, self.pick_policy)
+
+    def cache_token(self) -> str:
+        """Empty: oracle entries keep the historical unsalted cache keys."""
+        return ""
+
+    def describe(self) -> str:
+        return "oracle: clone-and-simulate every candidate"
+
+
+class AnalyticCostModel:
+    """Static estimation: price plans from catalog statistics, never run them.
+
+    Wraps :class:`~repro.core.cost.CostEstimator` (document sizes from
+    Σ, fragment fan-out from the catalog, replica resolution through the
+    pick policy, selectivities from statistics or the compiled logical
+    plan).  With a :class:`~repro.core.planspace.PlanCache` attached the
+    estimator walk is compiled away per plan fingerprint: the first
+    score of a shape records per-(subexpression, site) deltas, and every
+    later score of the same fingerprint — the common case inside a
+    694-candidate search — is answered by a single table lookup with no
+    AST walk at all.
+    """
+
+    name = "analytic"
+    final_check = False
+
+    def __init__(
+        self,
+        system: AXMLSystem,
+        pick_policy=None,
+        statistics: Optional[Statistics] = None,
+        cache: Optional[PlanCache] = None,
+        **estimator_options,
+    ) -> None:
+        self.system = system
+        self.statistics = statistics or Statistics()
+        self.estimator = CostEstimator(
+            system,
+            self.statistics,
+            cache=cache,
+            pick_policy=pick_policy,
+            **estimator_options,
+        )
+
+    def score(self, plan: Plan) -> Cost:
+        return self.estimator.estimate(plan)
+
+    def cache_token(self) -> str:
+        """``analytic`` plus the statistics digest and pick-policy tag.
+
+        Salts shared-cache cost entries so (a) analytic scores are never
+        served as oracle measurements and (b) two analytic models with
+        different statistics or pick policies never replay each other's
+        estimates.
+        """
+        policy = self.estimator.pick_policy
+        tag = type(policy).__name__ if policy is not None else ""
+        digest = hash(self.statistics.memo_token()) & 0xFFFFFFFF
+        return f"analytic:{tag}:{digest:08x}"
+
+    def describe(self) -> str:
+        return "analytic: static estimation from catalog statistics"
+
+
+class HybridCostModel:
+    """Analytic search frontier, oracle-checked final plan.
+
+    The paper-faithful compromise (Mariposa/System-R style): candidates
+    are ranked by the static estimator — no simulation inside the search
+    loop — and only the *chosen* plan (plus the original, for an honest
+    improvement ratio) is measured exactly.  The oracle pass doubles as
+    a safety net: if it disagrees that the analytic pick beats the
+    original, the original plan is kept, so hybrid search is never worse
+    than not optimizing at all, whatever the estimator mis-ranked.
+    """
+
+    name = "hybrid"
+    #: The chosen plan is re-judged (and possibly rejected) by the oracle.
+    final_check = True
+
+    def __init__(
+        self,
+        system: AXMLSystem,
+        pick_policy=None,
+        statistics: Optional[Statistics] = None,
+        cache: Optional[PlanCache] = None,
+        **estimator_options,
+    ) -> None:
+        self.analytic = AnalyticCostModel(
+            system,
+            pick_policy=pick_policy,
+            statistics=statistics,
+            cache=cache,
+            **estimator_options,
+        )
+        self.oracle = OracleCostModel(system, pick_policy=pick_policy)
+
+    def score(self, plan: Plan) -> Cost:
+        return self.analytic.score(plan)
+
+    def check(self, plan: Plan) -> Cost:
+        """The exact final-plan judgment (one oracle simulation)."""
+        return self.oracle.score(plan)
+
+    def cache_token(self) -> str:
+        return self.analytic.cache_token()
+
+    def check_token(self) -> str:
+        """Oracle checks share cache entries with pure-``oracle`` runs."""
+        return self.oracle.cache_token()
+
+    def describe(self) -> str:
+        return "hybrid: analytic frontier, oracle-checked final plan"
+
+
+class CallableCostModel:
+    """Anonymous model wrapping a bare ``cost_fn`` callable.
+
+    The migration shim behind the deprecated ``cost_fn=`` kwargs: any
+    ``plan -> Cost`` callable becomes a model whose cache behavior
+    matches what the lambda era did (unsalted keys).
+    """
+
+    final_check = False
+
+    def __init__(self, fn: Callable[[Plan], Cost], name: Optional[str] = None) -> None:
+        if not callable(fn):
+            raise OptimizerError(
+                f"cost_fn must be callable (plan -> Cost), got {fn!r}"
+            )
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", None) or "custom"
+        if self.name == "<lambda>":
+            self.name = "custom"
+
+    def score(self, plan: Plan) -> Cost:
+        return self.fn(plan)
+
+    def cache_token(self) -> str:
+        # the lambda era cached custom costs under unsalted keys; keep
+        # that shape so migrated callers see byte-identical cache traffic
+        return ""
+
+    def describe(self) -> str:
+        return f"custom callable ({self.name})"
+
+
+# -- registry --------------------------------------------------------------------
+
+#: Name -> factory for every registered cost model.  Factories receive
+#: ``(system, pick_policy=..., statistics=..., cache=..., **options)``.
+COST_MODELS: Dict[str, Callable[..., CostModel]] = {}
+
+
+def register_cost_model(
+    name: str, factory: Callable[..., CostModel], replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name`` for ``Session(cost_model=name)``."""
+    if name in COST_MODELS and not replace:
+        raise OptimizerError(
+            f"cost model {name!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    COST_MODELS[name] = factory
+
+
+def available_cost_models() -> List[str]:
+    return sorted(COST_MODELS)
+
+
+def make_cost_model(
+    spec: Union[str, CostModel, Callable[[Plan], Cost]],
+    system: AXMLSystem,
+    *,
+    pick_policy=None,
+    statistics: Optional[Statistics] = None,
+    cache: Optional[PlanCache] = None,
+    **options,
+) -> CostModel:
+    """Resolve a cost-model name, pass through an instance, wrap a callable.
+
+    The one resolver every entry point (``Session``, ``Optimizer``,
+    ``SearchSpace``) shares.  A registered *name* is instantiated with
+    the caller's system/policy/statistics/cache plus any factory
+    ``options``; a :class:`CostModel` instance passes through untouched
+    (options are then rejected); any other callable is wrapped by the
+    :class:`CallableCostModel` shim.
+    """
+    if isinstance(spec, str):
+        try:
+            factory = COST_MODELS[spec]
+        except KeyError:
+            raise OptimizerError(
+                f"unknown cost model {spec!r}; "
+                f"available: {', '.join(available_cost_models())}"
+            ) from None
+        return factory(
+            system,
+            pick_policy=pick_policy,
+            statistics=statistics,
+            cache=cache,
+            **options,
+        )
+    if callable(getattr(spec, "score", None)) and hasattr(spec, "name"):
+        if options:
+            raise OptimizerError(
+                "cost-model options are only accepted with a model *name*; "
+                f"got an instance plus options {sorted(options)}"
+            )
+        return spec
+    if callable(spec):
+        if options:
+            raise OptimizerError(
+                "cost-model options are only accepted with a model *name*; "
+                f"got a callable plus options {sorted(options)}"
+            )
+        return CallableCostModel(spec)
+    raise OptimizerError(
+        f"not a cost model: {spec!r} (need a registered name, a CostModel "
+        "instance, or a plan -> Cost callable)"
+    )
+
+
+register_cost_model("oracle", OracleCostModel)
+register_cost_model("analytic", AnalyticCostModel)
+register_cost_model("hybrid", HybridCostModel)

@@ -1,9 +1,10 @@
 """Rule-driven plan search (the "optimization methodology" of Section 3).
 
 The search algorithms themselves live in :mod:`repro.core.strategies`
-behind the :class:`~repro.core.strategies.OptimizerStrategy` protocol;
-this module keeps the historical :class:`Optimizer` entry points as thin
-delegating wrappers:
+behind the :class:`~repro.core.strategies.OptimizerStrategy` protocol,
+and candidate pricing lives in :mod:`repro.core.costmodel` behind the
+:class:`~repro.core.costmodel.CostModel` protocol; this module keeps the
+historical :class:`Optimizer` entry points as thin delegating wrappers:
 
 * :meth:`Optimizer.optimize` — bounded best-first search
   (:class:`~repro.core.strategies.BeamSearchStrategy`);
@@ -12,6 +13,12 @@ delegating wrappers:
 * :meth:`Optimizer.optimize_with` — any strategy, by registered name or
   instance (also covers the bounded
   :class:`~repro.core.strategies.ExhaustiveStrategy`).
+
+Every strategy result passes through one finalize step: for models with
+a final check (``hybrid``), the chosen and original plans are re-judged
+by the oracle, and the original is kept whenever the oracle disagrees
+that the pick beats it — so an estimator mis-ranking can cost speedup,
+never correctness or a regression versus not optimizing.
 
 Every explored plan can optionally be *verified* equivalent to the
 original on a sample state (``verify=True``), turning the paper's
@@ -24,17 +31,18 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence, Union
 
+from ..obs.metrics import MetricsRegistry
 from ..peers.system import AXMLSystem
-from .cost import Cost
+from .cost import Cost, Statistics
+from .costmodel import CostModel, make_cost_model
 from .planspace import PlanCache
 from .rules import DEFAULT_RULES, Plan, RewriteRule
 from .strategies import (
-    BeamSearchStrategy,
     CostFn,
-    GreedyStrategy,
     OptimizationResult,
     OptimizerStrategy,
     SearchSpace,
+    _shim_cost_fn,
     make_strategy,
 )
 
@@ -51,14 +59,41 @@ class Optimizer:
         cost_fn: Optional[CostFn] = None,
         verifier: Optional[Callable[[Plan, Plan], bool]] = None,
         cache: Optional[PlanCache] = None,
+        cost_model: Union[str, CostModel, CostFn, None] = None,
+        pick_policy=None,
+        statistics: Optional[Statistics] = None,
+        registry: Optional[MetricsRegistry] = None,
+        **cost_model_options,
     ) -> None:
         self.system = system
         self.rules = list(rules)
-        self.cost_fn: Optional[CostFn] = cost_fn
         self.verifier = verifier
         #: Transposition table shared by every search space this optimizer
         #: hands out; ``None`` means unmemoized search (see planspace).
         self.cache = cache
+        #: Labeled metrics shared by every search space (rule_errors etc.).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if cost_fn is not None:
+            if cost_model is not None:
+                from ..errors import OptimizerError
+
+                raise OptimizerError(
+                    "pass either cost_model= or the deprecated cost_fn=, not both"
+                )
+            cost_model = _shim_cost_fn(cost_fn)
+        self.cost_model: CostModel = make_cost_model(
+            cost_model if cost_model is not None else "oracle",
+            system,
+            pick_policy=pick_policy,
+            statistics=statistics,
+            cache=cache,
+            **cost_model_options,
+        )
+
+    @property
+    def cost_fn(self) -> CostFn:
+        """Back-compat view of the model's scorer (prefer ``cost_model``)."""
+        return self.cost_model.score
 
     # -- search space ----------------------------------------------------------
     def search_space(self, verify: bool = False) -> SearchSpace:
@@ -66,11 +101,44 @@ class Optimizer:
         return SearchSpace(
             self.system,
             rules=self.rules,
-            cost_fn=self.cost_fn,
+            cost_model=self.cost_model,
             verifier=self.verifier,
             verify=verify,
             cache=self.cache,
+            registry=self.registry,
         )
+
+    # -- finalize --------------------------------------------------------------
+    def _finalize(
+        self, plan: Plan, result: OptimizationResult, space: SearchSpace
+    ) -> OptimizationResult:
+        """Oracle-check the chosen plan for final-check models (``hybrid``).
+
+        The frontier was ranked by estimates; the *reported* costs (and
+        the improvement ratio) must be exact.  One oracle measurement of
+        the original and one of the pick replace the analytic numbers —
+        and if the oracle says the pick does not beat the original (or
+        cannot run it at all), the original plan is kept, so hybrid
+        search never does worse than not optimizing.
+        """
+        if not getattr(space.cost_model, "final_check", False):
+            return result
+        original_cost = space.check_cost(plan, strict=True)
+        best_cost = (
+            original_cost
+            if result.best is plan
+            else space.check_cost(result.best)
+        )
+        if best_cost is None or original_cost.scalar() <= best_cost.scalar():
+            result.best = plan
+            result.best_cost = original_cost
+        else:
+            result.best_cost = best_cost
+        result.original_cost = original_cost
+        # spaces are fresh per search, so the whole-space traffic —
+        # including the checks just charged — is this search's delta
+        result.cache = space.metrics.copy()
+        return result
 
     # -- strategy entry points -------------------------------------------------
     def optimize_with(
@@ -81,9 +149,9 @@ class Optimizer:
         **options,
     ) -> OptimizationResult:
         """Run ``plan`` through a strategy named in the registry (or given)."""
-        return make_strategy(strategy, **options).search(
-            plan, self.search_space(verify)
-        )
+        space = self.search_space(verify)
+        result = make_strategy(strategy, **options).search(plan, space)
+        return self._finalize(plan, result, space)
 
     def optimize(
         self,
@@ -98,14 +166,12 @@ class Optimizer:
         frontier plans survive per level.  ``verify`` re-checks each kept
         candidate for state equivalence with the original (slow, sound).
         """
-        return BeamSearchStrategy(depth=depth, beam=beam).search(
-            plan, self.search_space(verify)
+        return self.optimize_with(
+            "beam", plan, verify=verify, depth=depth, beam=beam
         )
 
     def optimize_greedy(
         self, plan: Plan, max_steps: int = 8
     ) -> OptimizationResult:
         """Hill climbing: take the single cheapest improving rewrite."""
-        return GreedyStrategy(max_steps=max_steps).search(
-            plan, self.search_space(False)
-        )
+        return self.optimize_with("greedy", plan, max_steps=max_steps)

@@ -164,6 +164,21 @@ class PlanCache:
         self.doc_sizes: Dict[Tuple, int] = {}
         #: query source -> compiled logical plan (or None when uncompilable)
         self.compiled_queries: Dict[str, object] = {}
+        #: (document name, home peer[, epoch]) -> tuple of embedded
+        #: service-call profiles (the estimator's activation model);
+        #: epoch-keyed like doc_sizes so writes orphan stale profiles
+        self.doc_profiles: Dict[Tuple, Tuple] = {}
+        #: (provider, service, params digest[, epochs]) -> sampled
+        #: invocation (work units, per-item result bytes, result items);
+        #: one deterministic sample per call site, amortized across every
+        #: candidate plan
+        self.service_samples: Dict[Tuple, Tuple] = {}
+        #: doc key -> materialized *activated* document value (or False
+        #: when the document cannot be materialized statically)
+        self.doc_values: Dict[Tuple, object] = {}
+        #: (query source, argument value keys) -> (result bytes, work
+        #: units); one deterministic apply sample per distinct input
+        self.apply_samples: Dict[Tuple, Tuple[int, int]] = {}
 
     # -- transposition table ------------------------------------------------
     def lookup_cost(self, key: str) -> Tuple[bool, Optional["Cost"]]:
@@ -199,6 +214,10 @@ class PlanCache:
         self.subtree_costs.clear()
         self.doc_sizes.clear()
         self.compiled_queries.clear()
+        self.doc_profiles.clear()
+        self.service_samples.clear()
+        self.doc_values.clear()
+        self.apply_samples.clear()
 
     def describe(self) -> str:
         return (

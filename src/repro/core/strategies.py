@@ -23,6 +23,7 @@ their own search without touching this module.
 from __future__ import annotations
 
 import sys
+import warnings
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -37,8 +38,10 @@ from typing import (
 )
 
 from ..errors import FragmentUnavailableError, OptimizerError, PeerDownError
+from ..obs.metrics import MetricsRegistry
 from ..peers.system import AXMLSystem
-from .cost import Cost, measure
+from .cost import Cost
+from .costmodel import CallableCostModel, CostModel, OracleCostModel
 from .planspace import (
     CacheStats,
     PlanCache,
@@ -62,6 +65,26 @@ __all__ = [
 ]
 
 CostFn = Callable[[Plan], Cost]
+
+COST_FN_DEPRECATION = (
+    "cost_fn= is deprecated and will be removed; pass cost_model= instead "
+    "(a registered name like 'oracle'/'analytic'/'hybrid', a CostModel "
+    "instance, or any plan -> Cost callable — see README 'Cost models')"
+)
+
+
+def _shim_cost_fn(cost_fn: Optional[CostFn]) -> Optional[CostModel]:
+    """Wrap a deprecated bare ``cost_fn`` callable as an anonymous model."""
+    if cost_fn is None:
+        return None
+    warnings.warn(COST_FN_DEPRECATION, DeprecationWarning, stacklevel=3)
+    return CallableCostModel(cost_fn)
+
+
+def _model_token(model: CostModel) -> str:
+    """The model's cache salt ("" for models without one, oracle included)."""
+    token = getattr(model, "cache_token", None)
+    return token() if callable(token) else ""
 
 
 def improvement_ratio(original: Cost, best: Cost) -> float:
@@ -113,7 +136,7 @@ class OptimizationResult:
 class SearchSpace:
     """The rewrite space one strategy searches: expand, score, admit.
 
-    Bundles the system Σ, the rule set, the cost function and the
+    Bundles the system Σ, the rule set, the cost model and the
     (optional) equivalence verifier so every strategy sees the same
     space through the same three operations — plus, when a
     :class:`~repro.core.planspace.PlanCache` is attached, the memoization
@@ -121,10 +144,17 @@ class SearchSpace:
     transposition table when the plan's canonical fingerprint has been
     seen before (possibly by a *different* strategy sharing the cache),
     so each distinct plan is costed and rule-expanded at most once.
+    Cost entries are salted with the model's
+    :meth:`~repro.core.costmodel.CostModel.cache_token`, so several
+    models can share one cache over the same Σ without replaying each
+    other's scores (the oracle's token is empty — its keys stay
+    byte-identical to the historical layout).
 
     ``metrics`` counts this space's cache traffic; strategies snapshot it
     around a search to report their own delta (shared caches make the
-    cache's global counters span many searches).
+    cache's global counters span many searches).  ``registry`` is the
+    labeled :class:`~repro.obs.metrics.MetricsRegistry` rule-application
+    failures are counted into (``rule_errors{rule=...}``).
     """
 
     def __init__(
@@ -135,14 +165,30 @@ class SearchSpace:
         verifier: Optional[Callable[[Plan, Plan], bool]] = None,
         verify: bool = False,
         cache: Optional[PlanCache] = None,
+        cost_model: Optional[CostModel] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.system = system
         self.rules = list(rules)
-        self.cost_fn: CostFn = cost_fn or (lambda plan: measure(plan, system))
+        if cost_fn is not None:
+            if cost_model is not None:
+                raise OptimizerError(
+                    "pass either cost_model= or the deprecated cost_fn=, not both"
+                )
+            cost_model = _shim_cost_fn(cost_fn)
+        self.cost_model: CostModel = cost_model or OracleCostModel(system)
+        # computed once: spaces are constructed fresh per search
+        self._cost_token = _model_token(self.cost_model)
         self.verifier = verifier
         self.verify = verify
         self.cache = cache
         self.metrics = CacheStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    @property
+    def cost_fn(self) -> CostFn:
+        """Back-compat view of the model's scorer (prefer ``cost_model``)."""
+        return self.cost_model.score
 
     @property
     def memoized(self) -> bool:
@@ -182,7 +228,12 @@ class SearchSpace:
             try:
                 rewrites.extend(rule.apply(plan, self.system))
             except Exception:
-                # a rule failing to match/apply must never kill the search
+                # a rule failing to match/apply must never kill the search,
+                # but it must not vanish silently either: count it, labeled
+                # by rule, so a buggy rule shows up in the metrics dump
+                self.registry.counter(
+                    "rule_errors", rule=getattr(rule, "name", type(rule).__name__)
+                ).inc()
                 continue
         self.metrics.expand_misses += 1
         if self.cache is not None:
@@ -190,28 +241,42 @@ class SearchSpace:
             self.cache.store_expansions(key, rewrites)
         return rewrites
 
+    def _cost_key(self, key: str, token: str) -> str:
+        """Cost-table key for ``key`` under a model's cache ``token``."""
+        if not token:
+            return key
+        return sys.intern(f"{key}#{token}")
+
+    def _scored(
+        self, plan: Plan, key: Optional[str], token: str, scorer: CostFn
+    ) -> Optional[Cost]:
+        """Memoized ``scorer(plan)`` under ``token``-salted cache keys."""
+        ckey = None
+        if self.cache is not None:
+            key = key or self.plan_key(plan)
+            ckey = self._cost_key(key, token)
+            hit, cached = self.cache.lookup_cost(ckey)
+            if hit:
+                self.metrics.cost_hits += 1
+                self.cache.stats.cost_hits += 1
+                return cached
+        try:
+            cost: Optional[Cost] = scorer(plan)
+        except Exception:
+            cost = None  # unevaluable candidate (e.g. undefined send)
+        self.metrics.cost_misses += 1
+        if self.cache is not None:
+            self.cache.stats.cost_misses += 1
+            self.cache.store_cost(ckey, cost)
+        return cost
+
     def score(self, plan: Plan, key: Optional[str] = None) -> Optional[Cost]:
         """Cost of ``plan`` (``None`` when unevaluable), memoized.
 
         A table hit — including a hit on the "unevaluable" verdict — is a
         cost-function invocation saved.
         """
-        if self.cache is not None:
-            key = key or self.plan_key(plan)
-            hit, cached = self.cache.lookup_cost(key)
-            if hit:
-                self.metrics.cost_hits += 1
-                self.cache.stats.cost_hits += 1
-                return cached
-        try:
-            cost: Optional[Cost] = self.cost_fn(plan)
-        except Exception:
-            cost = None  # unevaluable candidate (e.g. undefined send)
-        self.metrics.cost_misses += 1
-        if self.cache is not None:
-            self.cache.stats.cost_misses += 1
-            self.cache.store_cost(key, cost)
-        return cost
+        return self._scored(plan, key, self._cost_token, self.cost_model.score)
 
     def score_original(self, plan: Plan) -> Cost:
         cost = self.score(plan)
@@ -222,7 +287,37 @@ class SearchSpace:
             # unevaluable verdicts would otherwise swallow them.  Any
             # other failure keeps the classic optimizer-level verdict.
             try:
-                self.cost_fn(plan)
+                self.cost_model.score(plan)
+            except (FragmentUnavailableError, PeerDownError):
+                raise
+            except Exception:
+                pass
+            raise OptimizerError("the original plan is not evaluable")
+        return cost
+
+    def check_cost(self, plan: Plan, strict: bool = False) -> Optional[Cost]:
+        """Exact post-search judgment of ``plan`` (hybrid's oracle check).
+
+        Models with ``final_check`` expose a ``check(plan)`` scorer; its
+        results are memoized under the checker's own cache token
+        (``check_token``, the oracle's empty token for ``hybrid``), so a
+        hybrid run's final checks share entries with pure-oracle runs
+        over the same cache.  ``strict`` re-raises the checker's typed
+        availability errors and turns any other failure into the classic
+        "not evaluable" verdict — the original-plan contract.
+        """
+        checker = getattr(self.cost_model, "check", None)
+        if checker is None:
+            if strict:
+                return self.score_original(plan)
+            return self.score(plan)
+        token = self.cost_model.check_token() if hasattr(
+            self.cost_model, "check_token"
+        ) else ""
+        cost = self._scored(plan, None, token, checker)
+        if cost is None and strict:
+            try:
+                checker(plan)
             except (FragmentUnavailableError, PeerDownError):
                 raise
             except Exception:

@@ -397,6 +397,11 @@ class Scheduler:
                     now,
                     now,
                     strategy=report.strategy,
+                    cost_model=getattr(
+                        getattr(self.session, "cost_model", None),
+                        "name",
+                        "custom",
+                    ),
                     explored=report.explored,
                     site=report.plan.site,
                     cache_hits=(

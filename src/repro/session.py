@@ -37,6 +37,7 @@ one-line constructor re-exported as ``repro.connect``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import (
     Dict,
@@ -49,7 +50,8 @@ from typing import (
     Union,
 )
 
-from .core.cost import Cost, measure
+from .core.cost import Cost, Statistics
+from .core.costmodel import CostModel
 from .core.evaluator import EvalOutcome, ExpressionEvaluator
 from .core.expressions import (
     DocExpr,
@@ -224,10 +226,25 @@ class Session:
         Machine-check every rewrite kept during the search *and* the
         finally chosen plan against the original (slow, sound).
     trace:
-        Keep the full search trace on each report.
-    rules / cost_fn / pick_policy:
-        Forwarded to the optimizer and evaluator; ``cost_fn`` defaults
-        to oracle measurement under ``pick_policy``.
+        Keep the full search trace on each report.  (Passing a
+        :class:`repro.obs.Tracer` here is deprecated — use ``tracer=``.)
+    tracer:
+        A :class:`repro.obs.Tracer` instance turning on virtual-clock
+        span recording for executions and serving runs.
+    cost_model:
+        How candidate plans are priced during the search: a registered
+        name (``"oracle"`` — clone-and-simulate every candidate, the
+        historical default; ``"analytic"`` — static estimation from
+        catalog statistics, no simulation; ``"hybrid"`` — analytic
+        frontier, oracle-checked final plan; or anything added via
+        :func:`~repro.core.costmodel.register_cost_model`), a
+        :class:`~repro.core.costmodel.CostModel` instance, or any
+        ``plan -> Cost`` callable.  ``cost_model_options`` are forwarded
+        to the named factory; ``statistics`` seeds the analytic
+        estimator's selectivity table.
+    rules / pick_policy:
+        Forwarded to the optimizer and evaluator.  ``cost_fn`` is the
+        deprecated spelling of a callable ``cost_model``.
     isolate:
         When true (default), plans execute against a clone of Σ so the
         session's system is never mutated by a run — matching the
@@ -256,8 +273,12 @@ class Session:
         strategy: Union[str, OptimizerStrategy] = "beam",
         verify: bool = False,
         trace=None,
+        tracer=None,
         rules: Sequence[RewriteRule] = DEFAULT_RULES,
         cost_fn=None,
+        cost_model: Union[str, CostModel, None] = None,
+        cost_model_options: Optional[Mapping] = None,
+        statistics: Optional[Statistics] = None,
         pick_policy=None,
         isolate: bool = True,
         strategy_options: Optional[Mapping] = None,
@@ -269,19 +290,30 @@ class Session:
         self.system = system
         self.strategy = make_strategy(strategy, **dict(strategy_options or {}))
         self.verify = verify
-        # ``trace`` is overloaded for compatibility: a bool keeps the
-        # legacy meaning (record the rewrite-search trace on reports),
-        # while a :class:`repro.obs.Tracer` instance turns on virtual-
-        # clock span recording for executions and serving runs.  The
-        # default ``None`` records neither — the zero-cost path.
+        # ``trace`` is the legacy search-trace flag (record the rewrite
+        # trace on reports); ``tracer`` installs a :class:`repro.obs.Tracer`
+        # for virtual-clock span recording.  Passing a Tracer instance
+        # through ``trace=`` still works but is deprecated.
         if isinstance(trace, bool) or trace is None:
             self.trace = bool(trace)
-            self.tracer = None
-        else:
-            self.trace = False
             #: Installed :class:`repro.obs.Tracer`; executions and drains
             #: reset and fill it, surfacing the result on
             #: :attr:`ExecutionReport.spans` / ``ServingReport.trace``.
+            self.tracer = tracer
+        else:
+            warnings.warn(
+                "passing a Tracer through Session(trace=...) is deprecated; "
+                "use Session(tracer=...) — trace= stays the bool "
+                "search-trace flag",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if tracer is not None:
+                raise SessionError(
+                    "pass the Tracer through tracer= only, not both "
+                    "trace= and tracer="
+                )
+            self.trace = False
             self.tracer = trace
         #: Optional :class:`repro.obs.WallProfiler` timing the pipeline's
         #: wall-clock phases (parse / optimize / evaluate / serialize).
@@ -304,8 +336,6 @@ class Session:
                 )
             plan_cache = PlanCache()
         self.plan_cache = plan_cache
-        if cost_fn is None:
-            cost_fn = lambda plan: measure(plan, system, pick_policy)
         #: Equivalence verdicts from the current pipeline run, keyed by
         #: plan pair, so the finally chosen plan is not re-verified after
         #: the search already checked it (check_equivalence is the slow,
@@ -318,9 +348,16 @@ class Session:
             system,
             rules=rules,
             cost_fn=cost_fn,
+            cost_model=cost_model,
             verifier=verifier,
             cache=self.plan_cache,
+            pick_policy=pick_policy,
+            statistics=statistics,
+            **dict(cost_model_options or {}),
         )
+        #: The resolved :class:`~repro.core.costmodel.CostModel` pricing
+        #: this session's searches (``session.cost_model.name`` names it).
+        self.cost_model = self.optimizer.cost_model
 
     def _verified_equivalent(self, left: Plan, right: Plan) -> bool:
         return self._check_equivalence(left, right).equivalent

